@@ -1,0 +1,166 @@
+// Command collab runs a self-contained collaboration session on the
+// simulated substrate: wired clients, a base station and wireless
+// clients exchange chat, whiteboard strokes and progressive images
+// while the workload generator drives activity and a synthetic host
+// degrades, triggering visible adaptation.
+//
+// Usage:
+//
+//	collab [-wired 2] [-wireless 2] [-events 40] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/basestation"
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/trace"
+	"adaptiveqos/internal/transport"
+)
+
+func main() {
+	nWired := flag.Int("wired", 2, "number of wired clients")
+	nWireless := flag.Int("wireless", 2, "number of wireless clients")
+	nEvents := flag.Int("events", 40, "number of workload events")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed + 1})
+	defer wiredNet.Close()
+	defer radioNet.Close()
+
+	// Wired clients, the first with an SNMP-monitored host.
+	host := hostagent.NewHost("wired-0-host")
+	host.SetSchedule(hostagent.ParamCPULoad, hostagent.Ramp{From: 20, To: 95, Steps: *nEvents})
+	host.Set(hostagent.ParamPageFaults, 20)
+	monitor := &hostagent.Monitor{
+		Client: snmp.NewClient(&snmp.AgentRoundTripper{Agent: hostagent.NewAgent(host)}, snmp.V2c, "public"),
+	}
+
+	var wired []*core.Client
+	var senders []string
+	for i := 0; i < *nWired; i++ {
+		id := fmt.Sprintf("wired-%d", i)
+		conn, err := wiredNet.Attach(id)
+		if err != nil {
+			log.Fatalf("collab: %v", err)
+		}
+		cfg := core.Config{}
+		if i == 0 {
+			cfg.Monitor = monitor
+		}
+		c := core.NewClient(conn, cfg)
+		defer c.Close()
+		wired = append(wired, c)
+		senders = append(senders, id)
+	}
+
+	// Base station bridging to the wireless segment.
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		log.Fatalf("collab: %v", err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		log.Fatalf("collab: %v", err)
+	}
+	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}), basestation.Config{})
+	defer bs.Close()
+
+	var wireless []*core.Client
+	for i := 0; i < *nWireless; i++ {
+		id := fmt.Sprintf("wireless-%d", i)
+		conn, err := radioNet.Attach(id)
+		if err != nil {
+			log.Fatalf("collab: %v", err)
+		}
+		c := core.NewClient(conn, core.Config{})
+		defer c.Close()
+		p := profile.New(id)
+		assess, err := bs.Join(p, 50+float64(i)*6, 1)
+		if err != nil {
+			log.Fatalf("collab: join %s: %v", id, err)
+		}
+		log.Printf("collab: %s joined at %.0fm: SIR %.1f dB, tier %s",
+			id, assess.Distance, assess.SIRdB, assess.Tier)
+		wireless = append(wireless, c)
+		senders = append(senders, id)
+	}
+
+	gen := trace.NewGenerator(*seed, senders[:*nWired], trace.DefaultMix())
+	imgCount := 0
+	for i := 0; i < *nEvents; i++ {
+		host.Step()
+		if d, err := wired[0].AdaptOnce(); err == nil && i%10 == 0 {
+			log.Printf("collab: wired-0 adaptation: budget %d/16 (cpu %.0f%%)",
+				d.EffectiveBudget(16), host.Get(hostagent.ParamCPULoad))
+		}
+		ev := gen.Next()
+		sender := wired[indexOf(senders, ev.Sender)]
+		switch ev.Kind {
+		case trace.EventChat:
+			if err := sender.Say(ev.Text, ""); err != nil {
+				log.Printf("collab: say: %v", err)
+			}
+		case trace.EventStroke:
+			s := apps.Stroke{ID: uint32(i), Color: uint8(i % 8), Width: 2,
+				Points: []apps.Point{{X: int16(i), Y: 0}, {X: int16(i), Y: 20}}}
+			if err := sender.Draw(s, ""); err != nil {
+				log.Printf("collab: draw: %v", err)
+			}
+		case trace.EventImageShare:
+			imgCount++
+			obj, err := media.EncodeImage(ev.Image, ev.Description)
+			if err != nil {
+				log.Printf("collab: encode: %v", err)
+				continue
+			}
+			if err := sender.ShareImage(fmt.Sprintf("img-%d", imgCount), obj, ""); err != nil {
+				log.Printf("collab: share: %v", err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // drain in-flight deliveries
+
+	fmt.Println("\n--- session summary ---")
+	for _, c := range wired {
+		st := c.Stats()
+		fmt.Printf("%-12s chat=%d strokes=%d images=%d events=%d data=%d filtered=%d\n",
+			c.ID(), c.Chat().Len(), c.Whiteboard().Len(), len(c.Viewer().Objects()),
+			st.EventsReceived, st.DataPackets, st.EventsFiltered)
+	}
+	for _, c := range wireless {
+		st := c.Stats()
+		fmt.Printf("%-12s chat=%d images=%d inbox=%d events=%d data=%d\n",
+			c.ID(), c.Chat().Len(), len(c.Viewer().Objects()), c.Inbox().Len(),
+			st.EventsReceived, st.DataPackets)
+	}
+	bsStats := bs.Stats()
+	fmt.Printf("%-12s uplink=%d dropped=%d full=%d sketch=%d text=%d downlink=%d\n",
+		"bs", bsStats.UplinkEvents, bsStats.UplinkDropped, bsStats.ForwardFullImage,
+		bsStats.ForwardSketch, bsStats.ForwardText, bsStats.DownlinkUnicasts)
+	if d := wired[0].LastDecision(); true {
+		fmt.Printf("final wired-0 budget: %d/16 packets (rules: %v)\n",
+			d.EffectiveBudget(16), d.Fired)
+	}
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return 0
+}

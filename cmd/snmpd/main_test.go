@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"adaptiveqos/internal/hostagent"
+)
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+		at0  float64
+		at99 float64
+	}{
+		{"", true, 0, 0},
+		{"42", true, 42, 42},
+		{"42.5", true, 42.5, 42.5},
+		{"30:100:20", true, 30, 100},
+		{"100:30:5", true, 100, 30},
+		{"abc", false, 0, 0},
+		{"1:2", false, 0, 0},
+		{"1:2:3:4", false, 0, 0},
+		{"30:100:1", false, 0, 0}, // steps must be >= 2
+		{"x:100:5", false, 0, 0},
+		{"30:y:5", false, 0, 0},
+		{"30:100:z", false, 0, 0},
+	}
+	for _, tc := range cases {
+		s, err := parseSchedule(tc.spec)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("parseSchedule(%q): %v", tc.spec, err)
+				continue
+			}
+			if got := s.At(0); got != tc.at0 {
+				t.Errorf("parseSchedule(%q).At(0) = %g, want %g", tc.spec, got, tc.at0)
+			}
+			if got := s.At(99); got != tc.at99 {
+				t.Errorf("parseSchedule(%q).At(99) = %g, want %g", tc.spec, got, tc.at99)
+			}
+		} else if err == nil {
+			t.Errorf("parseSchedule(%q): expected error", tc.spec)
+		}
+	}
+
+	// A ramp really interpolates.
+	s, err := parseSchedule("0:100:11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(5); got != 50 {
+		t.Errorf("midpoint = %g", got)
+	}
+	var _ hostagent.Schedule = s
+}

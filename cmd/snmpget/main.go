@@ -1,0 +1,91 @@
+// Command snmpget is a small SNMP manager CLI: it queries an agent by
+// IP address, community string and OID — exactly the triple the
+// paper's network state interface uses.
+//
+// Usage:
+//
+//	snmpget -agent 127.0.0.1:16161 [-community public] [-v1] 1.3.6.1.2.1.1.1.0 ...
+//	snmpget -agent 127.0.0.1:16161 -walk 1.3.6.1
+//	snmpget -agent 127.0.0.1:16161 -bulk 1.3.6.1 [-maxrep 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"adaptiveqos/internal/snmp"
+)
+
+func main() {
+	agent := flag.String("agent", "127.0.0.1:16161", "agent UDP address")
+	community := flag.String("community", "public", "community string")
+	v1 := flag.Bool("v1", false, "use SNMPv1 instead of v2c")
+	walk := flag.String("walk", "", "walk the subtree under this OID")
+	bulk := flag.String("bulk", "", "GETBULK the subtree under this OID (v2c)")
+	maxRep := flag.Int("maxrep", 16, "GETBULK max-repetitions")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt timeout")
+	retries := flag.Int("retries", 2, "retries after the first attempt")
+	flag.Parse()
+
+	version := snmp.V2c
+	if *v1 {
+		version = snmp.V1
+	}
+	rt := &snmp.UDPRoundTripper{Addr: *agent, Timeout: *timeout, Retries: *retries}
+	defer rt.Close()
+	client := snmp.NewClient(rt, version, *community)
+
+	switch {
+	case *walk != "":
+		root, err := snmp.ParseOID(*walk)
+		if err != nil {
+			log.Fatalf("snmpget: %v", err)
+		}
+		err = client.Walk(root, func(vb snmp.VarBind) bool {
+			fmt.Printf("%s = %s\n", vb.OID, vb.Value)
+			return true
+		})
+		if err != nil {
+			log.Fatalf("snmpget: walk: %v", err)
+		}
+	case *bulk != "":
+		root, err := snmp.ParseOID(*bulk)
+		if err != nil {
+			log.Fatalf("snmpget: %v", err)
+		}
+		vbs, err := client.GetBulk(0, *maxRep, root)
+		if err != nil {
+			log.Fatalf("snmpget: bulk: %v", err)
+		}
+		for _, vb := range vbs {
+			if vb.Value.Type == snmp.TypeEndOfMibView {
+				break
+			}
+			fmt.Printf("%s = %s\n", vb.OID, vb.Value)
+		}
+	default:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "snmpget: no OIDs given (and neither -walk nor -bulk)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		oids := make([]snmp.OID, 0, flag.NArg())
+		for _, arg := range flag.Args() {
+			oid, err := snmp.ParseOID(arg)
+			if err != nil {
+				log.Fatalf("snmpget: %v", err)
+			}
+			oids = append(oids, oid)
+		}
+		vbs, err := client.Get(oids...)
+		if err != nil {
+			log.Fatalf("snmpget: %v", err)
+		}
+		for _, vb := range vbs {
+			fmt.Printf("%s = %s\n", vb.OID, vb.Value)
+		}
+	}
+}

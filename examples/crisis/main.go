@@ -1,0 +1,128 @@
+// Crisis management: the paper's wireless scenario.  Field responders
+// on wireless devices join a collaboration session through a base
+// station.  As responders crowd the cell and move, each one's SIR —
+// and therefore the modality the base station forwards — changes:
+// full imagery, sketch + text, or text only.  Power control conserves
+// batteries without losing service.
+//
+// Run with: go run ./examples/crisis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adaptiveqos/internal/basestation"
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+func main() {
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 3})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 4})
+	defer wiredNet.Close()
+	defer radioNet.Close()
+
+	// Command post: a wired client.
+	cpConn, err := wiredNet.Attach("command-post")
+	if err != nil {
+		log.Fatal(err)
+	}
+	commandPost := core.NewClient(cpConn, core.Config{})
+	defer commandPost.Close()
+
+	// Base station bridging the field radio segment.
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}), basestation.Config{})
+	defer bs.Close()
+
+	// Field responders join at staggered ranges.
+	type responder struct {
+		client   *core.Client
+		distance float64
+	}
+	var field []responder
+	for i, d := range []float64{40, 55, 70} {
+		id := fmt.Sprintf("responder-%d", i+1)
+		conn, err := radioNet.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := core.NewClient(conn, core.Config{})
+		defer c.Close()
+		assess, err := bs.Join(profile.New(id), d, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s joined at %3.0fm: SIR %6.1f dB → tier %s\n",
+			id, d, assess.SIRdB, assess.Tier)
+		field = append(field, responder{client: c, distance: d})
+	}
+
+	// Responder 1 shares a site photo from the field.  Its uplink SIR
+	// decides what actually reaches the session.
+	photo := wavelet.Medical(128, 128, 99)
+	obj, err := media.EncodeImage(photo, "collapsed facade, north entrance blocked")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bs.UplinkShare("responder-1", "site-photo-1", "", obj); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	fmt.Printf("\ncommand post received: images=%d inbox=%d\n",
+		len(commandPost.Viewer().Objects()), commandPost.Inbox().Len())
+	if d, ok := commandPost.Inbox().Latest(); ok {
+		fmt.Printf("  latest delivery: %s — %q\n", d.Object, d.Object.Description)
+	}
+
+	// Responder 1 moves closer (the Fig 8 trajectory): its tier improves.
+	fmt.Println("\nresponder-1 moves closer to the base station:")
+	for _, d := range []float64{40, 30, 20} {
+		if err := bs.SetDistance("responder-1", d); err != nil {
+			log.Fatal(err)
+		}
+		a, err := bs.Assess("responder-1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  at %3.0fm: SIR %6.1f dB → tier %s\n", d, a.SIRdB, a.Tier)
+	}
+
+	// The base station runs the distributed power-control iteration to
+	// its fixed point: clients above the target back off (conserving
+	// battery), clients below raise power, and the whole cell settles
+	// near the feasible target.
+	before := bs.Channel().AllSIRdB()
+	var powers map[string]float64
+	for i := 0; i < 25; i++ {
+		powers, err = bs.PowerControl(-4, 0.01, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	after := bs.Channel().AllSIRdB()
+	fmt.Println("\npower control to target -4 dB (25 iterations):")
+	for _, id := range bs.Clients() {
+		fmt.Printf("  %-12s power → %.3f W, SIR %6.1f → %6.1f dB\n",
+			id, powers[id], before[id], after[id])
+	}
+
+	st := bs.Stats()
+	fmt.Printf("\nbase station: uplink=%d full=%d sketch=%d text=%d downlink=%d\n",
+		st.UplinkEvents, st.ForwardFullImage, st.ForwardSketch, st.ForwardText,
+		st.DownlinkUnicasts)
+}

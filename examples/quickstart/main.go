@@ -1,0 +1,126 @@
+// Quickstart: the framework's core ideas in one file.
+//
+//  1. Semantic messaging — messages are addressed to profiles, not
+//     names (the paper's Figure 3 accept/reject/transform example).
+//  2. Adaptive QoS — a host under rising load accepts fewer and fewer
+//     image packets, trading quality for feasibility.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+func main() {
+	// --- Part 1: semantic interpretation (Figure 3) ---------------------
+	fmt.Println("== semantic interpretation ==")
+	sel := selector.MustCompile(
+		`media == "video" and color == true and encoding == "MPEG2" and size <= 1048576`)
+
+	profiles := map[string]selector.Attributes{
+		"client-1 (color MPEG2)": {
+			"media": selector.S("video"), "color": selector.B(true),
+			"encoding": selector.S("MPEG2"), "size": selector.N(1 << 20),
+		},
+		"client-2 (B/W, no encoding)": {
+			"media": selector.S("video"), "color": selector.B(false),
+			"size": selector.N(1 << 20),
+		},
+		"client-3 (color JPEG)": {
+			"media": selector.S("video"), "color": selector.B(true),
+			"encoding": selector.S("JPEG"), "size": selector.N(1 << 20),
+		},
+	}
+	for name, p := range profiles {
+		fmt.Printf("  %-28s accepts=%v\n", name, sel.Matches(p))
+	}
+	// Client 3 advertises an MPEG2→JPEG transformation, so the relaxed
+	// selector (encoding reachable via its transformers) matches.
+	relaxed := selector.MustCompile(
+		`media == "video" and color == true and encoding in ["MPEG2", "JPEG"] and size <= 1048576`)
+	fmt.Printf("  %-28s accepts=%v (with MPEG2→JPEG transform)\n\n",
+		"client-3 + capability", relaxed.Matches(profiles["client-3 (color JPEG)"]))
+
+	// --- Part 2: adaptation under load ----------------------------------
+	fmt.Println("== adaptive image sharing ==")
+
+	// A simulated host exposes CPU load and page faults through the
+	// embedded SNMP agent; the client's monitor samples it.
+	host := hostagent.NewHost("laptop")
+	monitor := &hostagent.Monitor{
+		Client: snmp.NewClient(
+			&snmp.AgentRoundTripper{Agent: hostagent.NewAgent(host)}, snmp.V2c, "public"),
+	}
+
+	// Two clients on a simulated multicast network.
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 1})
+	defer net.Close()
+	connA, err := net.Attach("sender")
+	if err != nil {
+		log.Fatal(err)
+	}
+	connB, err := net.Attach("receiver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sender := core.NewClient(connA, core.Config{})
+	receiver := core.NewClient(connB, core.Config{Monitor: monitor})
+	defer sender.Close()
+	defer receiver.Close()
+
+	img := wavelet.Medical(128, 128, 1)
+	obj, err := media.EncodeImage(img, "reference scan")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, load := range []float64{20, 60, 85, 99} {
+		host.Set(hostagent.ParamCPULoad, load)
+		host.Set(hostagent.ParamPageFaults, 10)
+		decision, err := receiver.AdaptOnce()
+		if err != nil {
+			log.Fatal(err)
+		}
+		object := fmt.Sprintf("scan-%d", i)
+		if err := sender.ShareImage(object, obj, ""); err != nil {
+			log.Fatal(err)
+		}
+		waitForPackets(receiver, object, 16)
+
+		st, err := receiver.Viewer().Stats(object)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := receiver.Viewer().Render(object)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := wavelet.PSNR(img, res.Image)
+		fmt.Printf("  cpu=%3.0f%%  budget=%2d/16  accepted=%2d  bpp=%.3f  CR=%.1f  psnr=%.1f dB\n",
+			load, decision.EffectiveBudget(16), st.PacketsAccepted, st.BPP,
+			st.CompressionRatio, psnr)
+	}
+	fmt.Println("\nhigher load → fewer packets accepted → lower quality, gracefully.")
+}
+
+func waitForPackets(c *core.Client, object string, n int) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := c.Viewer().Stats(object); err == nil && st.PacketsReceived >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %s", object)
+}

@@ -1,0 +1,119 @@
+// Telediagnosis: the paper's motivating medical scenario.  A hospital
+// workstation shares a scan with a specialist on a capable wired
+// client and a consulting physician on a degraded one.  Both receive
+// the same semantic content at the fidelity their resources admit, and
+// the session's semantic filters keep administrative chatter away from
+// the clinical channel.
+//
+// Run with: go run ./examples/telediagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+func main() {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 7})
+	defer net.Close()
+
+	attach := func(id string) *core.Client {
+		conn, err := net.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return core.NewClient(conn, core.Config{})
+	}
+
+	hospital := attach("hospital")
+	specialist := attach("specialist")
+	defer hospital.Close()
+	defer specialist.Close()
+
+	// The consulting physician's laptop is thrashing; its monitor
+	// feeds the inference engine.
+	laptopHost := hostagent.NewHost("consult-laptop")
+	laptopHost.Set(hostagent.ParamCPULoad, 88)
+	laptopHost.Set(hostagent.ParamPageFaults, 75)
+	consultMonitor := &hostagent.Monitor{
+		Client: snmp.NewClient(
+			&snmp.AgentRoundTripper{Agent: hostagent.NewAgent(laptopHost)}, snmp.V2c, "public"),
+	}
+	consultConn, err := net.Attach("consultant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	consultant := core.NewClient(consultConn, core.Config{Monitor: consultMonitor})
+	defer consultant.Close()
+
+	// Profiles: clinical staff subscribe to the case topic; the ward
+	// clerk only wants administrative text.
+	for _, c := range []*core.Client{specialist, consultant} {
+		c.Profile().SetInterest("topic", selector.S("case-1142"))
+		c.Profile().SetInterest("role", selector.S("clinical"))
+	}
+	clerkConn, err := net.Attach("ward-clerk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clerk := core.NewClient(clerkConn, core.Config{})
+	defer clerk.Close()
+	clerk.Profile().SetInterest("role", selector.S("admin"))
+
+	// Adaptation: the consultant's engine sees the thrashing laptop.
+	decision, err := consultant.AdaptOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consultant adaptation: %d/16 packets (rules %v)\n",
+		decision.EffectiveBudget(16), decision.Fired)
+
+	// The hospital shares the scan with clinical staff only.
+	scan := wavelet.Medical(256, 256, 1142)
+	obj, err := media.EncodeImage(scan, "CT slice 42, suspected lesion left lobe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hospital.ShareImage("ct-1142-42", obj, `role == "clinical"`); err != nil {
+		log.Fatal(err)
+	}
+	if err := hospital.Say("slide uploaded, please review", `role == "clinical"`); err != nil {
+		log.Fatal(err)
+	}
+	if err := hospital.Say("billing code updated", `role == "admin"`); err != nil {
+		log.Fatal(err)
+	}
+
+	time.Sleep(300 * time.Millisecond) // drain the simulated network
+
+	report := func(c *core.Client) {
+		st, err := c.Viewer().Stats("ct-1142-42")
+		if err != nil {
+			fmt.Printf("%-12s no scan received (filtered), chat=%d\n", c.ID(), c.Chat().Len())
+			return
+		}
+		res, err := c.Viewer().Render("ct-1142-42")
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := wavelet.PSNR(scan, res.Image)
+		fmt.Printf("%-12s packets=%2d/16  bpp=%.3f  psnr=%.1f dB  chat=%d\n",
+			c.ID(), st.PacketsAccepted, st.BPP, psnr, c.Chat().Len())
+	}
+	report(specialist)
+	report(consultant)
+	report(clerk)
+
+	fmt.Println("\nthe specialist sees the full-fidelity scan; the overloaded")
+	fmt.Println("consultant sees a reduced-rate rendering of the same content;")
+	fmt.Println("the ward clerk receives only the administrative line.")
+}

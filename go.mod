@@ -1,0 +1,3 @@
+module adaptiveqos
+
+go 1.22

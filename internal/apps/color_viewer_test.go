@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"testing"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/wavelet"
+)
+
+func TestImageViewerColorShare(t *testing.T) {
+	im := wavelet.ColorScene(48, 48, 3)
+	obj, err := media.EncodeColorImage(im, "color scene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, packets, err := ShareImage("c-1", obj, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewImageViewer()
+	v.Announce(meta)
+	for i, p := range packets {
+		if err := v.AddPacket("c-1", i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Full delivery: color render is lossless.
+	cres, err := v.RenderColor("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.Lossless || !cres.Image.Equal(im) {
+		t.Error("full color share should render losslessly")
+	}
+	// The grayscale Render view is the luma plane.
+	gres, err := v.Render("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Image.W != 48 || !gres.Lossless {
+		t.Errorf("grayscale view: %dx%d lossless=%v", gres.Image.W, gres.Image.H, gres.Lossless)
+	}
+
+	// Constrained budget: partial planes, grayscale-or-worse but valid.
+	v2 := NewImageViewer()
+	v2.SetBudget(4)
+	v2.Announce(meta)
+	for i, p := range packets {
+		v2.AddPacket("c-1", i, p)
+	}
+	cres, err = v2.RenderColor("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Lossless {
+		t.Error("4/16 packets cannot be lossless")
+	}
+	if cres.Image.W != 48 {
+		t.Error("partial color dimensions")
+	}
+
+	// Zero budget: blank canvas.
+	v3 := NewImageViewer()
+	v3.SetBudget(0)
+	v3.Announce(meta)
+	for i, p := range packets {
+		v3.AddPacket("c-1", i, p)
+	}
+	cres, err = v3.RenderColor("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.PlanesPresent != 0 || cres.Image.W != 48 {
+		t.Errorf("zero-budget color render: %+v", cres)
+	}
+
+	if _, err := v.RenderColor("ghost"); err == nil {
+		t.Error("unknown object accepted")
+	}
+}

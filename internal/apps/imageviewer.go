@@ -1,0 +1,316 @@
+package apps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/wavelet"
+)
+
+// ImageViewer is the shared progressive-image application whose
+// behaviour the paper's first two experiments measure.  A share is
+// announced with metadata, then its embedded stream arrives as a fixed
+// number of packets.  The viewer accepts packets only up to the budget
+// the inference engine set for the current system state; the accepted
+// prefix decodes to an image whose bits-per-pixel and compression
+// ratio are the Fig 6/Fig 7 quantities.
+
+// ImageViewer errors.
+var (
+	ErrUnknownImage = errors.New("apps: unknown shared image")
+	ErrBadPacket    = errors.New("apps: image packet out of range")
+)
+
+// ImageMeta announces a shared image.
+type ImageMeta struct {
+	// Object is the shared-object identifier.
+	Object string
+	// Width, Height are the raster dimensions.
+	Width, Height int
+	// TotalPackets is how many packets carry the embedded stream.
+	TotalPackets int
+	// StreamBytes is the full embedded stream length.
+	StreamBytes int
+	// Description is the verbal tag.
+	Description string
+}
+
+// EncodeImageMeta builds the announce event payload.
+func EncodeImageMeta(m ImageMeta) []byte {
+	out := binary.BigEndian.AppendUint16(nil, uint16(m.Width))
+	out = binary.BigEndian.AppendUint16(out, uint16(m.Height))
+	out = binary.BigEndian.AppendUint16(out, uint16(m.TotalPackets))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.StreamBytes))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Object)))
+	out = append(out, m.Object...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Description)))
+	return append(out, m.Description...)
+}
+
+// DecodeImageMeta parses an announce payload.
+func DecodeImageMeta(payload []byte) (ImageMeta, error) {
+	if len(payload) < 14 {
+		return ImageMeta{}, fmt.Errorf("%w: short image meta", ErrBadEvent)
+	}
+	m := ImageMeta{
+		Width:        int(binary.BigEndian.Uint16(payload)),
+		Height:       int(binary.BigEndian.Uint16(payload[2:])),
+		TotalPackets: int(binary.BigEndian.Uint16(payload[4:])),
+		StreamBytes:  int(binary.BigEndian.Uint32(payload[6:])),
+	}
+	off := 10
+	n := int(binary.BigEndian.Uint16(payload[off:]))
+	off += 2
+	if len(payload) < off+n+2 {
+		return ImageMeta{}, fmt.Errorf("%w: image meta object", ErrBadEvent)
+	}
+	m.Object = string(payload[off : off+n])
+	off += n
+	d := int(binary.BigEndian.Uint16(payload[off:]))
+	off += 2
+	if len(payload) != off+d {
+		return ImageMeta{}, fmt.Errorf("%w: image meta description", ErrBadEvent)
+	}
+	m.Description = string(payload[off:])
+	if m.Width < 1 || m.Height < 1 || m.TotalPackets < 1 {
+		return ImageMeta{}, fmt.Errorf("%w: image meta values", ErrBadEvent)
+	}
+	return m, nil
+}
+
+// SplitStream slices an embedded stream into n near-equal packets in
+// stream order (packet i must precede packet i+1 for prefix decoding).
+func SplitStream(stream []byte, n int) [][]byte {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(stream) && len(stream) > 0 {
+		n = len(stream)
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		lo := len(stream) * i / n
+		hi := len(stream) * (i + 1) / n
+		out = append(out, stream[lo:hi])
+	}
+	return out
+}
+
+// ShareImage prepares an image object for sharing: the announce
+// metadata plus the packetized stream.
+func ShareImage(object string, obj *media.Object, totalPackets int) (ImageMeta, [][]byte, error) {
+	if obj.Kind != media.KindImage ||
+		(obj.Format != media.FormatEZW && obj.Format != media.FormatEZWColor) {
+		return ImageMeta{}, nil, fmt.Errorf("%w: %s", media.ErrBadInput, obj)
+	}
+	packets := SplitStream(obj.Data, totalPackets)
+	meta := ImageMeta{
+		Object:       object,
+		Width:        obj.Width,
+		Height:       obj.Height,
+		TotalPackets: len(packets),
+		StreamBytes:  len(obj.Data),
+		Description:  obj.Description,
+	}
+	return meta, packets, nil
+}
+
+// ImageStats are the image-viewer parameters the experiments plot.
+type ImageStats struct {
+	// PacketsReceived counts packets that arrived.
+	PacketsReceived int
+	// PacketsAccepted counts packets accepted under the budget.
+	PacketsAccepted int
+	// TotalPackets is the announced packet count.
+	TotalPackets int
+	// AcceptedBytes is the byte length of the accepted prefix.
+	AcceptedBytes int
+	// BPP is bits-per-pixel of the accepted representation.
+	BPP float64
+	// CompressionRatio is raw (8 bpp) size over accepted size; +Inf
+	// when nothing was accepted.
+	CompressionRatio float64
+}
+
+type sharedImage struct {
+	meta     ImageMeta
+	received map[int][]byte
+	accepted int // contiguous prefix packets accepted
+	budget   int
+}
+
+// ImageViewer tracks shared images and applies the packet budget.
+type ImageViewer struct {
+	mu     sync.RWMutex
+	images map[string]*sharedImage
+	budget int // default budget for new shares; <0 = unlimited
+}
+
+// NewImageViewer returns an empty viewer with an unlimited budget.
+func NewImageViewer() *ImageViewer {
+	return &ImageViewer{images: make(map[string]*sharedImage), budget: -1}
+}
+
+// SetBudget sets the packet budget applied to shares: the number of
+// packets the viewer accepts per image (<0 = unlimited).  The budget
+// applies to subsequent packets of existing shares as well.
+func (v *ImageViewer) SetBudget(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.budget = n
+	for _, si := range v.images {
+		si.budget = n
+	}
+}
+
+// Budget returns the current default budget.
+func (v *ImageViewer) Budget() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.budget
+}
+
+// Announce registers a new shared image.
+func (v *ImageViewer) Announce(meta ImageMeta) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.images[meta.Object] = &sharedImage{
+		meta:     meta,
+		received: make(map[int][]byte),
+		budget:   v.budget,
+	}
+}
+
+// AddPacket ingests packet idx of a shared image.  Packets beyond the
+// budget are counted as received but not accepted; the accepted prefix
+// only grows through contiguous, in-budget packets.
+func (v *ImageViewer) AddPacket(object string, idx int, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	si, ok := v.images[object]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownImage, object)
+	}
+	if idx < 0 || idx >= si.meta.TotalPackets {
+		return fmt.Errorf("%w: %d of %d", ErrBadPacket, idx, si.meta.TotalPackets)
+	}
+	if _, dup := si.received[idx]; dup {
+		return nil
+	}
+	si.received[idx] = append([]byte(nil), data...)
+	// Advance the accepted prefix under the budget.
+	for {
+		limit := si.meta.TotalPackets
+		if si.budget >= 0 && si.budget < limit {
+			limit = si.budget
+		}
+		if si.accepted >= limit {
+			break
+		}
+		if _, ok := si.received[si.accepted]; !ok {
+			break
+		}
+		si.accepted++
+	}
+	return nil
+}
+
+// Objects returns the shared-object IDs known to the viewer.
+func (v *ImageViewer) Objects() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.images))
+	for id := range v.images {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats reports the viewer parameters for a shared image.
+func (v *ImageViewer) Stats(object string) (ImageStats, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	si, ok := v.images[object]
+	if !ok {
+		return ImageStats{}, fmt.Errorf("%w: %q", ErrUnknownImage, object)
+	}
+	st := ImageStats{
+		PacketsReceived: len(si.received),
+		PacketsAccepted: si.accepted,
+		TotalPackets:    si.meta.TotalPackets,
+	}
+	for i := 0; i < si.accepted; i++ {
+		st.AcceptedBytes += len(si.received[i])
+	}
+	pixels := float64(si.meta.Width * si.meta.Height)
+	st.BPP = float64(st.AcceptedBytes*8) / pixels
+	if st.AcceptedBytes > 0 {
+		st.CompressionRatio = pixels / float64(st.AcceptedBytes)
+	} else {
+		st.CompressionRatio = math.Inf(1)
+	}
+	return st, nil
+}
+
+// Render decodes the accepted prefix of a shared image.
+func (v *ImageViewer) Render(object string) (*wavelet.DecodeResult, error) {
+	v.mu.RLock()
+	si, ok := v.images[object]
+	if !ok {
+		v.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownImage, object)
+	}
+	var stream []byte
+	for i := 0; i < si.accepted; i++ {
+		stream = append(stream, si.received[i]...)
+	}
+	meta := si.meta
+	v.mu.RUnlock()
+	// Color streams render through the color decoder; the grayscale
+	// Render view is the luma plane.
+	if len(stream) >= 4 && string(stream[:4]) == "EZC1" {
+		cres, err := wavelet.DecodeColor(stream)
+		if err != nil {
+			return nil, err
+		}
+		luma := cres.Image.Luma()
+		luma.Clamp8()
+		return &wavelet.DecodeResult{Image: luma, Lossless: cres.Lossless}, nil
+	}
+	res, err := wavelet.Decode(stream)
+	if errors.Is(err, wavelet.ErrStreamHeader) {
+		// Nothing (or less than a header) accepted yet: show a blank
+		// canvas of the announced size rather than failing the render.
+		return &wavelet.DecodeResult{Image: wavelet.NewImage(meta.Width, meta.Height)}, nil
+	}
+	return res, err
+}
+
+// RenderColor decodes the accepted prefix of a color share.  With no
+// accepted data it returns a blank canvas; with a partial prefix the
+// chroma may be missing (a grayscale rendition).
+func (v *ImageViewer) RenderColor(object string) (*wavelet.ColorDecodeResult, error) {
+	v.mu.RLock()
+	si, ok := v.images[object]
+	if !ok {
+		v.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownImage, object)
+	}
+	var stream []byte
+	for i := 0; i < si.accepted; i++ {
+		stream = append(stream, si.received[i]...)
+	}
+	meta := si.meta
+	v.mu.RUnlock()
+	res, err := wavelet.DecodeColor(stream)
+	if errors.Is(err, wavelet.ErrColorStream) && len(stream) < 16 {
+		return &wavelet.ColorDecodeResult{
+			Image: wavelet.NewColorImage(meta.Width, meta.Height),
+		}, nil
+	}
+	return res, err
+}

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Point is a whiteboard coordinate.
+type Point struct{ X, Y int16 }
+
+// Stroke is one drawn figure.
+type Stroke struct {
+	ID     uint32
+	Color  uint8 // palette index
+	Width  uint8
+	Points []Point
+}
+
+// Whiteboard operation codes.
+const (
+	wbOpStroke = 1
+	wbOpErase  = 2
+	wbOpClear  = 3
+)
+
+// Whiteboard is the shared vector drawing surface.
+type Whiteboard struct {
+	mu      sync.RWMutex
+	strokes map[uint32]Stroke
+	zorder  []uint32
+	nextID  uint32
+}
+
+// NewWhiteboard returns an empty whiteboard.
+func NewWhiteboard() *Whiteboard {
+	return &Whiteboard{strokes: make(map[uint32]Stroke)}
+}
+
+// NewStrokeID allocates a locally unique stroke identifier.  Callers
+// combine it with their client ID in the session's object name to make
+// it globally unique.
+func (w *Whiteboard) NewStrokeID() uint32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	return w.nextID
+}
+
+// EncodeStroke builds the event payload adding a stroke.
+func EncodeStroke(s Stroke) []byte {
+	out := []byte{wbOpStroke, s.Color, s.Width}
+	out = binary.BigEndian.AppendUint32(out, s.ID)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s.Points)))
+	for _, p := range s.Points {
+		out = binary.BigEndian.AppendUint16(out, uint16(p.X))
+		out = binary.BigEndian.AppendUint16(out, uint16(p.Y))
+	}
+	return out
+}
+
+// EncodeErase builds the event payload removing a stroke.
+func EncodeErase(id uint32) []byte {
+	return binary.BigEndian.AppendUint32([]byte{wbOpErase}, id)
+}
+
+// EncodeClear builds the event payload clearing the board.
+func EncodeClear() []byte { return []byte{wbOpClear} }
+
+// Apply ingests a whiteboard event.
+func (w *Whiteboard) Apply(payload []byte) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("%w: empty whiteboard payload", ErrBadEvent)
+	}
+	switch payload[0] {
+	case wbOpStroke:
+		if len(payload) < 3+4+2 {
+			return fmt.Errorf("%w: short stroke", ErrBadEvent)
+		}
+		s := Stroke{Color: payload[1], Width: payload[2]}
+		s.ID = binary.BigEndian.Uint32(payload[3:])
+		n := int(binary.BigEndian.Uint16(payload[7:]))
+		if len(payload) != 9+4*n {
+			return fmt.Errorf("%w: stroke points %d vs payload %d", ErrBadEvent, n, len(payload))
+		}
+		s.Points = make([]Point, n)
+		for i := 0; i < n; i++ {
+			s.Points[i].X = int16(binary.BigEndian.Uint16(payload[9+4*i:]))
+			s.Points[i].Y = int16(binary.BigEndian.Uint16(payload[11+4*i:]))
+		}
+		w.mu.Lock()
+		if _, dup := w.strokes[s.ID]; !dup {
+			w.zorder = append(w.zorder, s.ID)
+		}
+		w.strokes[s.ID] = s
+		w.mu.Unlock()
+		return nil
+	case wbOpErase:
+		if len(payload) != 5 {
+			return fmt.Errorf("%w: erase payload", ErrBadEvent)
+		}
+		id := binary.BigEndian.Uint32(payload[1:])
+		w.mu.Lock()
+		if _, ok := w.strokes[id]; ok {
+			delete(w.strokes, id)
+			for i, z := range w.zorder {
+				if z == id {
+					w.zorder = append(w.zorder[:i], w.zorder[i+1:]...)
+					break
+				}
+			}
+		}
+		w.mu.Unlock()
+		return nil
+	case wbOpClear:
+		if len(payload) != 1 {
+			return fmt.Errorf("%w: clear payload", ErrBadEvent)
+		}
+		w.mu.Lock()
+		w.strokes = make(map[uint32]Stroke)
+		w.zorder = nil
+		w.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("%w: whiteboard op %d", ErrBadEvent, payload[0])
+	}
+}
+
+// Strokes returns the strokes in z-order.
+func (w *Whiteboard) Strokes() []Stroke {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]Stroke, 0, len(w.zorder))
+	for _, id := range w.zorder {
+		out = append(out, w.strokes[id])
+	}
+	return out
+}
+
+// Len returns the number of strokes on the board.
+func (w *Whiteboard) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.strokes)
+}
+
+// IDs returns the stroke IDs, sorted (for deterministic tests/logs).
+func (w *Whiteboard) IDs() []uint32 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]uint32, 0, len(w.strokes))
+	for id := range w.strokes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

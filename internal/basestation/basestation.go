@@ -1,0 +1,691 @@
+// Package basestation implements the wireless extension: the base
+// station that links a wireless segment to the rest of the distributed
+// collaborative session.  The base station is a peer in the multicast
+// session and the control coordinator for its wireless clients: it
+// maintains their profiles (distance, signal strength, transmit rate,
+// capability), computes per-client SIR from the radio channel model,
+// gates the modality it forwards on SIR thresholds (text only / text +
+// base sketch / full image), relays uplink events to the multicast
+// group while unicasting to the other wireless clients, and runs the
+// power-control loop that asks over-target clients to transmit lower —
+// conserving battery and reducing interference for everyone.
+package basestation
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/rtp"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/transport"
+)
+
+// fnv32 hashes a string to an RTP SSRC.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Base-station errors.
+var (
+	ErrNotJoined     = errors.New("basestation: client is not joined")
+	ErrAlreadyJoined = errors.New("basestation: client already joined")
+	ErrAdmission     = errors.New("basestation: admission denied")
+	ErrNoService     = errors.New("basestation: SIR below any service tier")
+)
+
+// Config parameterizes a base station.
+type Config struct {
+	// Thresholds gate forwarded modalities (default DefaultThresholds).
+	Thresholds radio.Thresholds
+	// Registry supplies modality transformers (default DefaultRegistry).
+	Registry *media.Registry
+	// MaxClients caps the wireless population; 0 = unlimited (the SIR
+	// still degrades naturally as clients join).
+	MaxClients int
+	// TotalPackets is the packet count used when relaying full images
+	// to the multicast session (default 16).
+	TotalPackets int
+	// AdmissionMinSIRdB, when non-zero, denies joins that would push
+	// the *joining* client below this SIR.
+	AdmissionMinSIRdB float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thresholds == (radio.Thresholds{}) {
+		c.Thresholds = radio.DefaultThresholds()
+	}
+	if c.Registry == nil {
+		c.Registry = media.DefaultRegistry()
+	}
+	if c.TotalPackets <= 0 {
+		c.TotalPackets = 16
+	}
+	return c
+}
+
+// Assessment is the basic service assessment the base station returns
+// to a client when it establishes a connection, and on demand.
+type Assessment struct {
+	SIRdB float64
+	Tier  radio.Tier
+	// Power is the client's current transmit power.
+	Power float64
+	// Distance is the client's current distance from the BS.
+	Distance float64
+}
+
+// Stats counts base-station activity.
+type Stats struct {
+	UplinkEvents     uint64 // events relayed from wireless clients
+	UplinkDropped    uint64 // uplink attempts below any tier
+	ForwardFullImage uint64 // shares forwarded at full-image tier
+	ForwardSketch    uint64 // shares degraded to sketch
+	ForwardText      uint64 // shares degraded to text
+	DownlinkUnicasts uint64 // deliveries to wireless clients
+}
+
+// BaseStation links the wireless segment to the collaboration session.
+type BaseStation struct {
+	id       string
+	wired    transport.Conn // multicast session peer
+	wireless transport.Conn // radio-segment endpoint (unicast to clients)
+	cfg      Config
+	channel  *radio.Channel
+	profiles *profile.Registry
+
+	env    message.Enveloper
+	unwrap *message.Unwrapper
+
+	seq atomic.Uint32
+
+	// collect reassembles wired-side image shares so the BS can
+	// transform them per wireless client.
+	collect *apps.ImageViewer
+
+	mu      sync.RWMutex
+	meta    map[string]apps.ImageMeta // announced wired shares
+	pending map[string][]pendingPkt   // data packets that beat their announce
+
+	stats struct {
+		uplinkEvents, uplinkDropped          atomic.Uint64
+		fwdImage, fwdSketch, fwdText, downlk atomic.Uint64
+	}
+
+	closeOnce sync.Once
+	wiredDone chan struct{}
+	rfDone    chan struct{}
+}
+
+// New creates a base station bridging the wired multicast session and
+// the wireless segment, using channel as the radio model.  It starts
+// relay loops on both connections.
+func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg Config) *BaseStation {
+	bs := &BaseStation{
+		id:        id,
+		wired:     wired,
+		wireless:  wireless,
+		cfg:       cfg.withDefaults(),
+		channel:   channel,
+		profiles:  profile.NewRegistry(),
+		unwrap:    message.NewUnwrapper(),
+		collect:   apps.NewImageViewer(),
+		meta:      make(map[string]apps.ImageMeta),
+		pending:   make(map[string][]pendingPkt),
+		wiredDone: make(chan struct{}),
+		rfDone:    make(chan struct{}),
+	}
+	go bs.wiredLoop()
+	go bs.wirelessLoop()
+	return bs
+}
+
+// ID returns the base station's identifier.
+func (bs *BaseStation) ID() string { return bs.id }
+
+// Stats returns a snapshot of the relay counters.
+func (bs *BaseStation) Stats() Stats {
+	return Stats{
+		UplinkEvents:     bs.stats.uplinkEvents.Load(),
+		UplinkDropped:    bs.stats.uplinkDropped.Load(),
+		ForwardFullImage: bs.stats.fwdImage.Load(),
+		ForwardSketch:    bs.stats.fwdSketch.Load(),
+		ForwardText:      bs.stats.fwdText.Load(),
+		DownlinkUnicasts: bs.stats.downlk.Load(),
+	}
+}
+
+// Close stops the relay loops and detaches both connections.
+func (bs *BaseStation) Close() error {
+	var err error
+	bs.closeOnce.Do(func() {
+		e1 := bs.wired.Close()
+		e2 := bs.wireless.Close()
+		<-bs.wiredDone
+		<-bs.rfDone
+		if e1 != nil {
+			err = e1
+		} else {
+			err = e2
+		}
+	})
+	return err
+}
+
+// --- Membership ---
+
+// Join admits a wireless client at the given geometry.  The base
+// station evaluates its distance, transmitting rate and power —
+// considering the noise effect of the other wireless clients — and
+// returns the basic service assessment.
+func (bs *BaseStation) Join(p *profile.Profile, distance, power float64) (Assessment, error) {
+	if bs.cfg.MaxClients > 0 && bs.channel.Len() >= bs.cfg.MaxClients {
+		return Assessment{}, fmt.Errorf("%w: at capacity (%d)", ErrAdmission, bs.cfg.MaxClients)
+	}
+	if _, ok := bs.profiles.Get(p.ID); ok {
+		return Assessment{}, fmt.Errorf("%w: %s", ErrAlreadyJoined, p.ID)
+	}
+	if err := bs.channel.Join(p.ID, distance, power); err != nil {
+		return Assessment{}, err
+	}
+	if bs.cfg.AdmissionMinSIRdB != 0 {
+		if db, err := bs.channel.SIRdB(p.ID); err == nil && db < bs.cfg.AdmissionMinSIRdB {
+			bs.channel.Leave(p.ID)
+			return Assessment{}, fmt.Errorf("%w: SIR %.1f dB below %.1f dB",
+				ErrAdmission, db, bs.cfg.AdmissionMinSIRdB)
+		}
+	}
+	bs.profiles.Put(p)
+	return bs.Assess(p.ID)
+}
+
+// Leave removes a wireless client.
+func (bs *BaseStation) Leave(id string) error {
+	if !bs.profiles.Remove(id) {
+		return fmt.Errorf("%w: %s", ErrNotJoined, id)
+	}
+	bs.channel.Leave(id)
+	return nil
+}
+
+// Clients returns the joined wireless client IDs.
+func (bs *BaseStation) Clients() []string { return bs.profiles.IDs() }
+
+// Assess computes the current service assessment for a client.  The
+// assessment is also folded into the stored profile so the client's
+// signal state is semantically selectable.
+func (bs *BaseStation) Assess(id string) (Assessment, error) {
+	db, err := bs.channel.SIRdB(id)
+	if err != nil {
+		return Assessment{}, err
+	}
+	cl, err := bs.channel.Get(id)
+	if err != nil {
+		return Assessment{}, err
+	}
+	if _, err := bs.profiles.UpdateState(id, "sir", selector.N(db)); err != nil {
+		return Assessment{}, err
+	}
+	bs.profiles.UpdateState(id, "distance", selector.N(cl.Distance))
+	bs.profiles.UpdateState(id, "power", selector.N(cl.Power))
+	return Assessment{
+		SIRdB:    db,
+		Tier:     bs.cfg.Thresholds.TierFor(db),
+		Power:    cl.Power,
+		Distance: cl.Distance,
+	}, nil
+}
+
+// SetDistance moves a wireless client (mobility).
+func (bs *BaseStation) SetDistance(id string, d float64) error {
+	return bs.channel.SetDistance(id, d)
+}
+
+// SetPower changes a wireless client's transmit power.
+func (bs *BaseStation) SetPower(id string, p float64) error {
+	return bs.channel.SetPower(id, p)
+}
+
+// Channel exposes the radio model (for experiments).
+func (bs *BaseStation) Channel() *radio.Channel { return bs.channel }
+
+// PowerControl runs one target-SIR power-control iteration and returns
+// the adjusted powers.
+func (bs *BaseStation) PowerControl(targetDB, minPower, maxPower float64) (map[string]float64, error) {
+	return bs.channel.PowerControlStep(targetDB, minPower, maxPower)
+}
+
+// --- Uplink (wireless client → session) ---
+
+func (bs *BaseStation) newMessage(kind message.Kind, sender, sel string, attrs selector.Attributes, body []byte) *message.Message {
+	m := &message.Message{
+		Kind:      kind,
+		Sender:    sender,
+		Seq:       bs.seq.Add(1),
+		Timestamp: time.Now(),
+		Selector:  sel,
+		Attrs:     attrs,
+		Body:      body,
+	}
+	return m
+}
+
+func (bs *BaseStation) multicastWired(m *message.Message) error {
+	frame, err := message.Encode(m)
+	if err != nil {
+		return err
+	}
+	datagrams, err := bs.env.Wrap(frame)
+	if err != nil {
+		return err
+	}
+	for _, d := range datagrams {
+		if err := bs.wired.Multicast(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bs *BaseStation) unicastWireless(to string, m *message.Message) error {
+	frame, err := message.Encode(m)
+	if err != nil {
+		return err
+	}
+	datagrams, err := bs.env.Wrap(frame)
+	if err != nil {
+		return err
+	}
+	bs.stats.downlk.Add(1)
+	for _, d := range datagrams {
+		if err := bs.wireless.Unicast(to, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UplinkEvent relays a plain event (chat line, whiteboard stroke) from
+// a wireless client: multicast to the session, unicast to the other
+// wireless clients.  The uplink must meet at least the text tier.
+func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) error {
+	if _, ok := bs.profiles.Get(sender); !ok {
+		return fmt.Errorf("%w: %s", ErrNotJoined, sender)
+	}
+	assess, err := bs.Assess(sender)
+	if err != nil {
+		return err
+	}
+	if assess.Tier < radio.TierText {
+		bs.stats.uplinkDropped.Add(1)
+		return fmt.Errorf("%w: %s at %.1f dB", ErrNoService, sender, assess.SIRdB)
+	}
+	attrs := selector.Attributes{
+		message.AttrApp: selector.S(app),
+	}
+	m := bs.newMessage(message.KindEvent, sender, sel, attrs, payload)
+	if err := bs.multicastWired(m); err != nil {
+		return err
+	}
+	for _, id := range bs.profiles.IDs() {
+		if id == sender {
+			continue
+		}
+		if err := bs.unicastWireless(id, m); err != nil {
+			return err
+		}
+	}
+	bs.stats.uplinkEvents.Add(1)
+	return nil
+}
+
+// UplinkShare relays an image share from a wireless client.  The base
+// station receives the content, selects the data-type format by the
+// sender's received SIR — full image, text + base sketch, or text
+// description only — and forwards that modality to the multicast
+// session; each other wireless client receives the richest modality
+// its own SIR supports (never richer than what the uplink admitted).
+func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object) error {
+	if _, ok := bs.profiles.Get(sender); !ok {
+		return fmt.Errorf("%w: %s", ErrNotJoined, sender)
+	}
+	assess, err := bs.Assess(sender)
+	if err != nil {
+		return err
+	}
+	if assess.Tier == radio.TierNone {
+		bs.stats.uplinkDropped.Add(1)
+		return fmt.Errorf("%w: %s at %.1f dB", ErrNoService, sender, assess.SIRdB)
+	}
+
+	// Forward to the wired session at the uplink-admitted tier.
+	if err := bs.forwardTiered(sender, object, sel, obj, assess.Tier, bs.multicastWired); err != nil {
+		return err
+	}
+	switch assess.Tier {
+	case radio.TierImage:
+		bs.stats.fwdImage.Add(1)
+	case radio.TierSketch:
+		bs.stats.fwdSketch.Add(1)
+	case radio.TierText:
+		bs.stats.fwdText.Add(1)
+	}
+
+	// Unicast to the other wireless clients at min(uplink tier, their
+	// own tier).
+	for _, id := range bs.profiles.IDs() {
+		if id == sender {
+			continue
+		}
+		peerAssess, err := bs.Assess(id)
+		if err != nil {
+			continue
+		}
+		tier := peerAssess.Tier
+		if assess.Tier < tier {
+			tier = assess.Tier
+		}
+		if tier == radio.TierNone {
+			continue
+		}
+		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
+		if err := bs.forwardTiered(sender, object, sel, obj, tier, send); err != nil {
+			return err
+		}
+	}
+	bs.stats.uplinkEvents.Add(1)
+	return nil
+}
+
+// forwardTiered emits the object at the given tier through send.
+// Full-image tier uses the announce + packets path so receivers can
+// still apply their own packet budgets; lower tiers deliver one
+// transformed media event.
+func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Object,
+	tier radio.Tier, send func(*message.Message) error) error {
+
+	deliver := func(o *media.Object) error {
+		payload, err := apps.EncodeMediaObject(o)
+		if err != nil {
+			return err
+		}
+		attrs := o.Attrs().Merge(selector.Attributes{
+			message.AttrApp:    selector.S(apps.AppMedia),
+			message.AttrObject: selector.S(object),
+		})
+		return send(bs.newMessage(message.KindEvent, sender, sel, attrs, payload))
+	}
+
+	switch tier {
+	case radio.TierImage:
+		if obj.Kind == media.KindImage &&
+			(obj.Format == media.FormatEZW || obj.Format == media.FormatEZWColor) {
+			meta, packets, err := apps.ShareImage(object, obj, bs.cfg.TotalPackets)
+			if err != nil {
+				return err
+			}
+			attrs := obj.Attrs().Merge(selector.Attributes{
+				message.AttrApp:    selector.S(apps.AppImageViewer),
+				message.AttrObject: selector.S(object),
+			})
+			if err := send(bs.newMessage(message.KindEvent, sender, sel, attrs, apps.EncodeImageMeta(meta))); err != nil {
+				return err
+			}
+			for i, p := range packets {
+				dattrs := selector.Attributes{
+					message.AttrApp:    selector.S(apps.AppImageViewer),
+					message.AttrObject: selector.S(object),
+					message.AttrLevel:  selector.N(float64(i)),
+				}
+				// RTP-framed like core clients' data packets.
+				rp := rtp.Packet{
+					PayloadType: 96,
+					Marker:      i == len(packets)-1,
+					Seq:         uint16(i),
+					Timestamp:   uint32(time.Now().UnixMilli()),
+					SSRC:        fnv32(bs.id + "/" + object),
+					Payload:     p,
+				}
+				if err := send(bs.newMessage(message.KindData, sender, sel, dattrs, rp.Marshal())); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return deliver(obj)
+	case radio.TierSketch:
+		sk, err := bs.cfg.Registry.Transmode(obj, media.KindSketch)
+		if err != nil {
+			// Non-image content cannot be sketched; fall back to text.
+			return bs.forwardTiered(sender, object, sel, obj, radio.TierText, send)
+		}
+		return deliver(sk)
+	case radio.TierText:
+		txt, err := bs.cfg.Registry.Transmode(obj, media.KindText)
+		if err != nil {
+			return err
+		}
+		return deliver(txt)
+	default:
+		return ErrNoService
+	}
+}
+
+// --- Downlink (session → wireless clients) ---
+
+func (bs *BaseStation) wiredLoop() {
+	defer close(bs.wiredDone)
+	for pkt := range bs.wired.Recv() {
+		bs.handleWired(pkt)
+	}
+}
+
+// handleWired relays wired-session traffic to the wireless clients,
+// degrading content to each client's tier.
+func (bs *BaseStation) handleWired(pkt transport.Packet) {
+	frame, err := bs.unwrap.Unwrap(pkt.From, pkt.Data)
+	if err != nil || frame == nil {
+		return
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		return
+	}
+	if m.Sender == bs.id {
+		return
+	}
+	app, _ := m.Attr(message.AttrApp)
+	switch {
+	case m.Kind == message.KindEvent && (app.Str() == apps.AppChat || app.Str() == apps.AppWhiteboard || app.Str() == apps.AppMedia):
+		// Light events pass through to clients whose profile matches
+		// the selector and whose SIR supports at least text.
+		for _, id := range bs.profiles.IDs() {
+			p, ok := bs.profiles.Get(id)
+			if !ok || !m.MatchProfile(p.Flatten()) {
+				continue
+			}
+			if a, err := bs.Assess(id); err != nil || a.Tier < radio.TierText {
+				continue
+			}
+			bs.unicastWireless(id, m)
+		}
+	case m.Kind == message.KindEvent && app.Str() == apps.AppImageViewer:
+		meta, err := apps.DecodeImageMeta(m.Body)
+		if err != nil {
+			return
+		}
+		bs.collect.Announce(meta)
+		bs.mu.Lock()
+		bs.meta[meta.Object] = meta
+		parked := bs.pending[meta.Object]
+		delete(bs.pending, meta.Object)
+		bs.mu.Unlock()
+		for _, p := range parked {
+			bs.collect.AddPacket(meta.Object, p.idx, p.data)
+		}
+		bs.maybeDeliver(m.Sender, meta.Object, m.Selector)
+	case m.Kind == message.KindData && app.Str() == apps.AppImageViewer:
+		object, ok1 := m.Attr(message.AttrObject)
+		level, ok2 := m.Attr(message.AttrLevel)
+		if !ok1 || !ok2 || len(m.Body) < rtp.HeaderLen {
+			return
+		}
+		chunk := m.Body[rtp.HeaderLen:]
+		if err := bs.collect.AddPacket(object.Str(), int(level.Num()), chunk); err != nil {
+			if errors.Is(err, apps.ErrUnknownImage) {
+				// The packet overtook its announce; park it (bounded).
+				bs.mu.Lock()
+				if len(bs.pending) < 32 && len(bs.pending[object.Str()]) < 64 {
+					bs.pending[object.Str()] = append(bs.pending[object.Str()],
+						pendingPkt{idx: int(level.Num()), data: append([]byte(nil), chunk...)})
+				}
+				bs.mu.Unlock()
+			}
+			return
+		}
+		bs.maybeDeliver(m.Sender, object.Str(), m.Selector)
+	}
+}
+
+// pendingPkt is one parked early-arriving image packet.
+type pendingPkt struct {
+	idx  int
+	data []byte
+}
+
+// maybeDeliver forwards a wired-side image to the wireless clients
+// once every packet has been collected.
+func (bs *BaseStation) maybeDeliver(sender, object, sel string) {
+	st, err := bs.collect.Stats(object)
+	if err != nil || st.PacketsAccepted != st.TotalPackets {
+		return
+	}
+	bs.deliverCollectedImage(sender, object, sel)
+}
+
+// deliverCollectedImage sends a fully collected wired-side image to
+// each wireless client at its own tier.
+func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
+	bs.mu.RLock()
+	meta := bs.meta[object]
+	bs.mu.RUnlock()
+
+	// Re-encode the collected image, preserving color when the wired
+	// share carried it (full-image-tier clients see the original hues;
+	// lower tiers go through the grayscale/sketch/text chain anyway).
+	var obj *media.Object
+	if cres, err := bs.collect.RenderColor(object); err == nil && cres.PlanesPresent == 3 {
+		obj, err = media.EncodeColorImage(cres.Image, meta.Description)
+		if err != nil {
+			return
+		}
+	} else {
+		res, err := bs.collect.Render(object)
+		if err != nil {
+			return
+		}
+		var encErr error
+		obj, encErr = media.EncodeImage(res.Image, meta.Description)
+		if encErr != nil {
+			return
+		}
+	}
+	for _, id := range bs.profiles.IDs() {
+		p, ok := bs.profiles.Get(id)
+		if !ok {
+			continue
+		}
+		a, err := bs.Assess(id)
+		if err != nil || a.Tier == radio.TierNone {
+			continue
+		}
+		// Respect the client's preferred modality when declared (e.g. a
+		// battery-saving client that switched to text mode).
+		tier := a.Tier
+		if pref, ok := p.Preferences["modality"]; ok {
+			switch media.Kind(pref.Str()) {
+			case media.KindText:
+				tier = radio.TierText
+			case media.KindSketch:
+				if tier > radio.TierSketch {
+					tier = radio.TierSketch
+				}
+			}
+		}
+		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
+		bs.forwardTiered(sender, object, sel, obj, tier, send)
+	}
+}
+
+// wirelessLoop receives uplink frames from wireless clients over the
+// radio segment: clients transmit framework messages; the BS relays
+// them as if the client had called UplinkEvent/UplinkShare.
+func (bs *BaseStation) wirelessLoop() {
+	defer close(bs.rfDone)
+	for pkt := range bs.wireless.Recv() {
+		bs.handleWireless(pkt)
+	}
+}
+
+func (bs *BaseStation) handleWireless(pkt transport.Packet) {
+	frame, err := bs.unwrap.Unwrap("rf:"+pkt.From, pkt.Data)
+	if err != nil || frame == nil {
+		return
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		return
+	}
+	if _, ok := bs.profiles.Get(m.Sender); !ok {
+		return // not joined: ignore
+	}
+	app, _ := m.Attr(message.AttrApp)
+	switch {
+	case m.Kind == message.KindProfile:
+		bs.applyProfileUpdate(m)
+	case m.Kind == message.KindEvent && app.Str() == apps.AppMedia:
+		obj, err := apps.DecodeMediaObject(m.Body)
+		if err != nil {
+			return
+		}
+		object, _ := m.Attr(message.AttrObject)
+		bs.UplinkShare(m.Sender, object.Str(), m.Selector, obj)
+	case m.Kind == message.KindEvent:
+		bs.UplinkEvent(m.Sender, app.Str(), m.Selector, m.Body)
+	}
+}
+
+// applyProfileUpdate folds a client's announced interests and
+// preferences into its stored profile; the paper's "change in
+// preference" path (e.g. a client switching to text mode to conserve
+// battery).
+func (bs *BaseStation) applyProfileUpdate(m *message.Message) {
+	p, ok := bs.profiles.Get(m.Sender)
+	if !ok {
+		return
+	}
+	intPrefix := profile.SectionInterest + "."
+	prefPrefix := profile.SectionPreference + "."
+	for k, v := range m.Attrs {
+		switch {
+		case strings.HasPrefix(k, intPrefix):
+			p.Interests[strings.TrimPrefix(k, intPrefix)] = v
+		case strings.HasPrefix(k, prefPrefix):
+			p.Preferences[strings.TrimPrefix(k, prefPrefix)] = v
+		}
+	}
+	bs.profiles.Put(p)
+}

@@ -1,0 +1,442 @@
+package basestation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// rig is a complete test topology: a wired multicast net with one wired
+// framework client and a base station, plus a radio segment carrying
+// the base station and wireless client endpoints.
+type rig struct {
+	wiredNet *transport.SimNet
+	radioNet *transport.SimNet
+	bs       *BaseStation
+	wired    *core.Client
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 1})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 2})
+	t.Cleanup(func() { wiredNet.Close(); radioNet.Close() })
+
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiredConn, err := wiredNet.Attach("wired-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bs := New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}), cfg)
+	wc := core.NewClient(wiredConn, core.Config{})
+	t.Cleanup(func() { bs.Close(); wc.Close() })
+	return &rig{wiredNet: wiredNet, radioNet: radioNet, bs: bs, wired: wc}
+}
+
+// joinWireless attaches a wireless endpoint (a plain framework client
+// on the radio segment) and registers it at the base station.
+func (r *rig) joinWireless(t *testing.T, id string, distance, power float64) *core.Client {
+	t.Helper()
+	conn, err := r.radioNet.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewClient(conn, core.Config{})
+	t.Cleanup(func() { c.Close() })
+	p := profile.New(id)
+	p.Interests.SetString("media", "any")
+	if _, err := r.bs.Join(p, distance, power); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func testImageObject(t *testing.T) *media.Object {
+	t.Helper()
+	obj, err := media.EncodeImage(wavelet.Medical(64, 64, 1), "field photo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestJoinAssessLeave(t *testing.T) {
+	r := newRig(t, Config{})
+	r.joinWireless(t, "w1", 50, 1)
+
+	a, err := r.bs.Assess("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tier != radio.TierImage {
+		t.Errorf("lone client tier = %s (SIR %.1f dB)", a.Tier, a.SIRdB)
+	}
+	if a.Distance != 50 || a.Power != 1 {
+		t.Errorf("assessment geometry: %+v", a)
+	}
+	// The SIR is folded into the stored profile.
+	p, _ := r.bs.profiles.Get("w1")
+	if p.State["sir"].Num() != a.SIRdB {
+		t.Error("SIR not in profile state")
+	}
+
+	// Duplicate join rejected.
+	if _, err := r.bs.Join(profile.New("w1"), 10, 1); !errors.Is(err, ErrAlreadyJoined) {
+		t.Errorf("duplicate join: %v", err)
+	}
+	if err := r.bs.Leave("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.bs.Leave("w1"); !errors.Is(err, ErrNotJoined) {
+		t.Errorf("double leave: %v", err)
+	}
+	if _, err := r.bs.Assess("w1"); err == nil {
+		t.Error("assess after leave should fail")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	r := newRig(t, Config{MaxClients: 2})
+	r.joinWireless(t, "w1", 50, 1)
+	r.joinWireless(t, "w2", 60, 1)
+	_, err := r.bs.Join(profile.New("w3"), 70, 1)
+	if !errors.Is(err, ErrAdmission) {
+		t.Errorf("over-capacity join: %v", err)
+	}
+	if len(r.bs.Clients()) != 2 {
+		t.Errorf("clients: %v", r.bs.Clients())
+	}
+}
+
+func TestAdmissionBySIR(t *testing.T) {
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 3})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 4})
+	defer wiredNet.Close()
+	defer radioNet.Close()
+	bw, _ := wiredNet.Attach("bs")
+	br, _ := radioNet.Attach("bs")
+	bs := New("bs", bw, br, radio.NewChannel(radio.Params{}), Config{AdmissionMinSIRdB: -3})
+	defer bs.Close()
+
+	if _, err := bs.Join(profile.New("near"), 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	// An equal-power client at the same distance would land both at
+	// ~0 dB minus noise — still above -3.  A far, weak client lands
+	// below the floor and is denied.
+	if _, err := bs.Join(profile.New("weak"), 500, 0.001); !errors.Is(err, ErrAdmission) {
+		t.Errorf("weak join: %v", err)
+	}
+	if len(bs.Clients()) != 1 {
+		t.Errorf("clients after denial: %v", bs.Clients())
+	}
+}
+
+func TestUplinkEventRelay(t *testing.T) {
+	r := newRig(t, Config{})
+	w1 := r.joinWireless(t, "w1", 40, 1)
+	w2 := r.joinWireless(t, "w2", 60, 1)
+	_ = w1
+
+	if err := r.bs.UplinkEvent("w1", apps.AppChat, "", apps.EncodeSay("from the field")); err != nil {
+		t.Fatal(err)
+	}
+	// The wired client sees it via multicast.
+	waitFor(t, "wired chat", func() bool { return r.wired.Chat().Len() == 1 })
+	if r.wired.Chat().Lines()[0].Sender != "w1" {
+		t.Errorf("wired line: %+v", r.wired.Chat().Lines())
+	}
+	// The other wireless client gets a unicast copy.
+	waitFor(t, "wireless chat", func() bool { return w2.Chat().Len() == 1 })
+
+	if err := r.bs.UplinkEvent("ghost", apps.AppChat, "", nil); !errors.Is(err, ErrNotJoined) {
+		t.Errorf("uplink from stranger: %v", err)
+	}
+	if st := r.bs.Stats(); st.UplinkEvents != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestUplinkShareFullImageTier(t *testing.T) {
+	r := newRig(t, Config{})
+	r.joinWireless(t, "w1", 30, 1) // lone client: high SIR → full image
+
+	obj := testImageObject(t)
+	if err := r.bs.UplinkShare("w1", "img-1", "", obj); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "wired image", func() bool {
+		st, err := r.wired.Viewer().Stats("img-1")
+		return err == nil && st.PacketsAccepted == 16
+	})
+	res, err := r.wired.Viewer().Render("img-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lossless {
+		t.Error("full-tier relay should be lossless")
+	}
+	if st := r.bs.Stats(); st.ForwardFullImage != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestUplinkShareDegradesWithInterference(t *testing.T) {
+	r := newRig(t, Config{})
+	// Three clients at equal distance: everyone's SIR collapses to
+	// roughly -3 dB (two equal interferers) → text tier.
+	r.joinWireless(t, "w1", 50, 1)
+	w2 := r.joinWireless(t, "w2", 50, 1)
+	r.joinWireless(t, "w3", 50, 1)
+
+	a, _ := r.bs.Assess("w1")
+	if a.Tier >= radio.TierImage {
+		t.Fatalf("crowded channel tier = %s (SIR %.1f dB)", a.Tier, a.SIRdB)
+	}
+
+	obj := testImageObject(t)
+	if err := r.bs.UplinkShare("w1", "img-2", "", obj); err != nil {
+		t.Fatal(err)
+	}
+	// The wired session receives degraded content via the media inbox,
+	// not the progressive image path.
+	waitFor(t, "degraded delivery", func() bool { return r.wired.Inbox().Len() == 1 })
+	got, _ := r.wired.Inbox().Latest()
+	if got.Object.Kind == media.KindImage {
+		t.Errorf("crowded uplink forwarded kind %s", got.Object.Kind)
+	}
+	if got.Object.Description != "field photo" {
+		t.Errorf("semantic content lost: %+v", got.Object)
+	}
+	// Peer wireless client receives its own tiered copy.
+	waitFor(t, "peer delivery", func() bool { return w2.Inbox().Len() == 1 })
+
+	st := r.bs.Stats()
+	if st.ForwardFullImage != 0 || st.ForwardSketch+st.ForwardText != 1 {
+		t.Errorf("tier stats: %+v", st)
+	}
+}
+
+func TestUplinkBelowServiceDropped(t *testing.T) {
+	r := newRig(t, Config{})
+	r.joinWireless(t, "w1", 400, 0.01) // weak and far
+	r.joinWireless(t, "w2", 10, 5)     // dominant interferer
+
+	a, _ := r.bs.Assess("w1")
+	if a.Tier != radio.TierNone {
+		t.Skipf("geometry did not produce TierNone (SIR %.1f dB)", a.SIRdB)
+	}
+	err := r.bs.UplinkShare("w1", "img-x", "", testImageObject(t))
+	if !errors.Is(err, ErrNoService) {
+		t.Errorf("hopeless uplink: %v", err)
+	}
+	if err := r.bs.UplinkEvent("w1", apps.AppChat, "", apps.EncodeSay("hello?")); !errors.Is(err, ErrNoService) {
+		t.Errorf("hopeless event: %v", err)
+	}
+	if st := r.bs.Stats(); st.UplinkDropped != 2 {
+		t.Errorf("dropped = %d", st.UplinkDropped)
+	}
+}
+
+func TestDownlinkTieredDelivery(t *testing.T) {
+	r := newRig(t, Config{})
+	wNear := r.joinWireless(t, "near", 20, 1)  // strong: full image
+	wFar := r.joinWireless(t, "far", 300, 0.2) // weak: degraded
+
+	near, _ := r.bs.Assess("near")
+	far, _ := r.bs.Assess("far")
+	if near.Tier != radio.TierImage {
+		t.Skipf("near tier = %s", near.Tier)
+	}
+	if far.Tier >= radio.TierImage || far.Tier == radio.TierNone {
+		t.Skipf("far tier = %s", far.Tier)
+	}
+
+	// A wired client shares an image into the session.
+	im := wavelet.Medical(64, 64, 9)
+	obj, err := media.EncodeImage(im, "hq map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.wired.ShareImage("map-1", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// The near client receives the full image object.
+	waitFor(t, "near delivery", func() bool {
+		for _, d := range wNear.Inbox().Items() {
+			if d.Object.Kind == media.KindImage {
+				return true
+			}
+		}
+		return false
+	})
+	// The far client receives degraded content only.
+	waitFor(t, "far delivery", func() bool { return wFar.Inbox().Len() >= 1 })
+	for _, d := range wFar.Inbox().Items() {
+		if d.Object.Kind == media.KindImage {
+			t.Errorf("far client received full image at tier %s", far.Tier)
+		}
+		if d.Object.Description != "hq map" {
+			t.Errorf("description lost: %+v", d.Object)
+		}
+	}
+}
+
+func TestDownlinkHonorsModalityPreference(t *testing.T) {
+	r := newRig(t, Config{})
+	w := r.joinWireless(t, "w1", 20, 1) // excellent channel
+	_ = w
+	// The client switches to text mode (battery conservation): the BS
+	// must deliver text even though the SIR admits the full image.
+	p := profile.New("w1")
+	p.Preferences.SetString("modality", "text")
+	r.bs.profiles.Put(p)
+
+	obj, err := media.EncodeImage(wavelet.Circles(32, 32), "diagram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.wired.ShareImage("d-1", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "text delivery", func() bool { return w.Inbox().Len() >= 1 })
+	got, _ := w.Inbox().Latest()
+	if got.Object.Kind != media.KindText {
+		t.Errorf("preference ignored: got %s", got.Object.Kind)
+	}
+	if string(got.Object.Data) != "diagram" {
+		t.Errorf("text content: %q", got.Object.Data)
+	}
+}
+
+func TestWirelessUplinkOverRF(t *testing.T) {
+	// A wireless client transmits framework messages over the radio
+	// segment; the BS relays them without an explicit API call.
+	r := newRig(t, Config{})
+	w := r.joinWireless(t, "w1", 30, 1)
+
+	if err := w.Say("over the air", ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "relayed chat", func() bool { return r.wired.Chat().Len() == 1 })
+	if r.wired.Chat().Lines()[0].Sender != "w1" {
+		t.Errorf("relayed sender: %+v", r.wired.Chat().Lines())
+	}
+}
+
+func TestPowerControlAPI(t *testing.T) {
+	r := newRig(t, Config{})
+	r.joinWireless(t, "w1", 30, 5)
+	r.joinWireless(t, "w2", 100, 5)
+
+	before, _ := r.bs.Assess("w1")
+	powers, err := r.bs.PowerControl(-4, 1e-6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(powers) != 2 {
+		t.Errorf("powers: %v", powers)
+	}
+	// The over-target client was asked to reduce power.
+	if powers["w1"] >= 5 && before.SIRdB > -4 {
+		t.Errorf("w1 power %g not reduced from 5", powers["w1"])
+	}
+}
+
+func TestMoreClientsDegradeService(t *testing.T) {
+	// The Fig 10 mechanism through the BS API: each join drops the
+	// first client's SIR; eventually the tier degrades.
+	r := newRig(t, Config{})
+	r.joinWireless(t, "w1", 50, 1)
+	a1, _ := r.bs.Assess("w1")
+
+	r.joinWireless(t, "w2", 50, 1)
+	a2, _ := r.bs.Assess("w1")
+	if a2.SIRdB >= a1.SIRdB {
+		t.Errorf("SIR did not drop on join: %.1f -> %.1f", a1.SIRdB, a2.SIRdB)
+	}
+	r.joinWireless(t, "w3", 50, 1)
+	a3, _ := r.bs.Assess("w1")
+	if a3.SIRdB >= a2.SIRdB {
+		t.Errorf("SIR did not drop on second join: %.1f -> %.1f", a2.SIRdB, a3.SIRdB)
+	}
+	if a1.Tier == radio.TierImage && a3.Tier == radio.TierImage {
+		t.Error("tier should degrade as the cell fills")
+	}
+}
+
+// TestChurnDuringTraffic: wireless clients join and leave while events
+// flow; the base station keeps serving the surviving population and
+// the departed client's service assessments fail cleanly.
+func TestChurnDuringTraffic(t *testing.T) {
+	r := newRig(t, Config{})
+	w1 := r.joinWireless(t, "w1", 40, 1)
+	w2 := r.joinWireless(t, "w2", 55, 1)
+	_ = w1
+
+	for i := 0; i < 5; i++ {
+		if err := r.bs.UplinkEvent("w1", apps.AppChat, "", apps.EncodeSay("before churn")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "pre-churn relay", func() bool { return r.wired.Chat().Len() == 5 })
+
+	// w2 departs mid-session.
+	if err := r.bs.Leave("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bs.Assess("w2"); err == nil {
+		t.Error("assessment of departed client should fail")
+	}
+	// w1's SIR improves once its interferer is gone.
+	a, err := r.bs.Assess("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tier != radio.TierImage {
+		t.Errorf("post-churn tier = %s (SIR %.1f dB)", a.Tier, a.SIRdB)
+	}
+	// Traffic continues to the survivors only.
+	if err := r.bs.UplinkEvent("w1", apps.AppChat, "", apps.EncodeSay("after churn")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-churn relay", func() bool { return r.wired.Chat().Len() == 6 })
+	if got := w2.Chat().Len(); got > 5 {
+		t.Errorf("departed client received post-churn traffic: %d", got)
+	}
+
+	// A fresh client can take the departed one's place.
+	r.joinWireless(t, "w3", 55, 1)
+	if len(r.bs.Clients()) != 2 {
+		t.Errorf("clients after rejoin: %v", r.bs.Clients())
+	}
+}

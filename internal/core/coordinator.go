@@ -1,0 +1,321 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/transport"
+)
+
+// Coordinator is an archiving peer in the multicast session: it
+// records every event frame in order and answers history requests from
+// late joiners by replaying the original frames over unicast.  The
+// framework deliberately has no store-and-forward in the live path
+// (collaboration is real-time); the archive is the paper's concession
+// for late clients needing session history.
+//
+// Replayed frames are verbatim originals, so the late joiner's own
+// semantic filtering still applies: it only absorbs the history its
+// profile admits.
+type Coordinator struct {
+	conn transport.Conn
+	sess *session.Session
+
+	env    message.Enveloper
+	unwrap *message.Unwrapper
+
+	mu      sync.Mutex
+	frames  map[uint64][]byte        // session seq → original encoded frame
+	streams map[string]*senderStream // per-sender arrival reordering
+	locks   *session.ObjectLocks     // distributed lock arbitration
+
+	closeOnce sync.Once
+	loopDone  chan struct{}
+}
+
+// Control-message vocabulary for the history protocol.
+const (
+	attrCtrl       = "ctrl"
+	ctrlHistoryReq = "history-request"
+	attrAfterSeq   = "after-seq"
+)
+
+// NewCoordinator attaches an archiving coordinator to the substrate.
+// group describes the session being archived (used for metadata only;
+// the coordinator does not enforce admission — it archives what the
+// multicast group carries).
+func NewCoordinator(conn transport.Conn, group session.Group) *Coordinator {
+	c := &Coordinator{
+		conn:     conn,
+		sess:     session.New(group),
+		unwrap:   message.NewUnwrapper(),
+		frames:   make(map[uint64][]byte),
+		streams:  make(map[string]*senderStream),
+		locks:    session.NewObjectLocks(),
+		loopDone: make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// ID returns the coordinator's substrate identifier.
+func (c *Coordinator) ID() string { return c.conn.ID() }
+
+// Session exposes the archive (membership, history, sequence state).
+func (c *Coordinator) Session() *session.Session { return c.sess }
+
+// SetArchiveCap bounds retained history to the most recent n events.
+func (c *Coordinator) SetArchiveCap(n int) {
+	c.sess.SetArchiveCap(n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Drop frames the session no longer remembers.
+	keep := make(map[uint64]bool)
+	for _, ev := range c.sess.History(0) {
+		keep[ev.Seq] = true
+	}
+	for seq := range c.frames {
+		if !keep[seq] {
+			delete(c.frames, seq)
+		}
+	}
+}
+
+// Close detaches the coordinator.
+func (c *Coordinator) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.conn.Close()
+		<-c.loopDone
+	})
+	return err
+}
+
+func (c *Coordinator) loop() {
+	defer close(c.loopDone)
+	for pkt := range c.conn.Recv() {
+		c.handle(pkt)
+	}
+}
+
+func (c *Coordinator) handle(pkt transport.Packet) {
+	frame, err := c.unwrap.Unwrap(pkt.From, pkt.Data)
+	if err != nil || frame == nil {
+		return
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case message.KindEvent, message.KindData:
+		// The substrate may reorder frames; the archive must reflect
+		// each sender's causal order, so frames pass through a
+		// per-sender reorder stage keyed on the sender sequence number.
+		for _, ordered := range c.reorder(m, frame) {
+			c.archive(ordered.msg, ordered.frame)
+		}
+	case message.KindControl:
+		ctrl, ok := m.Attr(attrCtrl)
+		if !ok {
+			return
+		}
+		switch ctrl.Str() {
+		case ctrlHistoryReq:
+			after := uint64(0)
+			if v, ok := m.Attr(attrAfterSeq); ok {
+				after = uint64(v.Num())
+			}
+			c.replay(m.Sender, after)
+		case ctrlLockRequest, ctrlLockRelease:
+			if object, ok := m.Attr(attrObject); ok {
+				c.handleLock(m.Sender, ctrl.Str(), object.Str())
+			}
+		}
+	}
+}
+
+// handleLock arbitrates a lock request or release and notifies the
+// affected clients.
+func (c *Coordinator) handleLock(sender, ctrl, object string) {
+	switch ctrl {
+	case ctrlLockRequest:
+		if err := c.locks.TryAcquire(object, sender); err != nil {
+			c.notifyLock(sender, ctrlLockWait, object, c.locks.Holder(object))
+			return
+		}
+		c.notifyLock(sender, ctrlLockGrant, object, sender)
+	case ctrlLockRelease:
+		next, err := c.locks.Release(object, sender)
+		if err != nil {
+			return // not the holder: ignore
+		}
+		if next != "" {
+			c.notifyLock(next, ctrlLockGrant, object, next)
+		}
+	}
+}
+
+func (c *Coordinator) notifyLock(to, ctrl, object, holder string) {
+	m := &message.Message{
+		Kind:      message.KindControl,
+		Sender:    c.ID(),
+		Timestamp: time.Now(),
+		Attrs: selector.Attributes{
+			attrCtrl:   selector.S(ctrl),
+			attrObject: selector.S(object),
+			attrHolder: selector.S(holder),
+		},
+	}
+	frame, err := message.Encode(m)
+	if err != nil {
+		return
+	}
+	datagrams, err := c.env.Wrap(frame)
+	if err != nil {
+		return
+	}
+	for _, d := range datagrams {
+		c.conn.Unicast(to, d)
+	}
+}
+
+// orderedFrame pairs a decoded message with its original frame.
+type orderedFrame struct {
+	msg   *message.Message
+	frame []byte
+}
+
+// senderStream restores one sender's frame order.
+type senderStream struct {
+	next    uint32
+	pending map[uint32]orderedFrame
+}
+
+// maxStreamPending bounds per-sender buffering; past it the stream
+// flushes in ascending order (archive completeness beats a perfect
+// order when the substrate genuinely lost a frame).
+const maxStreamPending = 64
+
+// reorder returns the frames now releasable in the sender's order.
+func (c *Coordinator) reorder(m *message.Message, frame []byte) []orderedFrame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.streams[m.Sender]
+	if !ok {
+		// Framework clients number their messages from 1, so a fresh
+		// stream anchors there; a coordinator attaching mid-session
+		// catches up through the flush path below.
+		st = &senderStream{next: 1, pending: make(map[uint32]orderedFrame)}
+		c.streams[m.Sender] = st
+	}
+	own := orderedFrame{msg: m, frame: append([]byte(nil), frame...)}
+	if m.Seq < st.next {
+		// A straggler from before the release point: archive it now
+		// rather than dropping history.
+		return []orderedFrame{own}
+	}
+	st.pending[m.Seq] = own
+
+	var out []orderedFrame
+	for {
+		f, ok := st.pending[st.next]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.next)
+		out = append(out, f)
+		st.next++
+	}
+	if len(st.pending) > maxStreamPending {
+		// Flush: a frame was probably lost.  Release in ascending order.
+		seqs := make([]uint32, 0, len(st.pending))
+		for s := range st.pending {
+			seqs = append(seqs, s)
+		}
+		for i := 1; i < len(seqs); i++ { // insertion sort, tiny n
+			for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+				seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+			}
+		}
+		for _, s := range seqs {
+			out = append(out, st.pending[s])
+			delete(st.pending, s)
+			st.next = s + 1
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) archive(m *message.Message, frame []byte) {
+	// The session requires membership for Commit; the coordinator
+	// auto-registers senders it hears (they are in the multicast group
+	// by construction).
+	if !c.sess.IsMember(m.Sender) {
+		if err := c.sess.Join(profile.New(m.Sender)); err != nil {
+			return // filtered by the group: not archived
+		}
+	}
+	app, _ := m.Attr(message.AttrApp)
+	object, _ := m.Attr(message.AttrObject)
+	ev, err := c.sess.Commit(m.Sender, app.Str(), object.Str(), nil)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.frames[ev.Seq] = append([]byte(nil), frame...)
+	c.mu.Unlock()
+}
+
+// replay unicasts archived frames with Seq > after, in order.
+func (c *Coordinator) replay(to string, after uint64) {
+	events := c.sess.History(after)
+	c.mu.Lock()
+	frames := make([][]byte, 0, len(events))
+	for _, ev := range events {
+		if f, ok := c.frames[ev.Seq]; ok {
+			frames = append(frames, f)
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range frames {
+		datagrams, err := c.env.Wrap(f)
+		if err != nil {
+			return
+		}
+		for _, d := range datagrams {
+			if err := c.conn.Unicast(to, d); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ArchivedEvents returns the number of archived events.
+func (c *Coordinator) ArchivedEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+// RequestHistory asks the coordinator to replay the session history
+// with sequence numbers greater than afterSeq.  Replayed events arrive
+// through the normal receive path, subject to this client's semantic
+// filtering.
+func (c *Client) RequestHistory(coordinator string, afterSeq uint64) error {
+	m := &message.Message{
+		Kind:      message.KindControl,
+		Sender:    c.ID(),
+		Seq:       c.ctrlSeq.Add(1),
+		Timestamp: time.Now(),
+		Attrs: selector.Attributes{
+			attrCtrl:     selector.S(ctrlHistoryReq),
+			attrAfterSeq: selector.N(float64(afterSeq)),
+		},
+	}
+	return c.unicastMessage(coordinator, m)
+}

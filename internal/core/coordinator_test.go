@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+func newCoordinatedNet(t *testing.T) (*transport.SimNet, *Coordinator) {
+	t.Helper()
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 51})
+	t.Cleanup(net.Close)
+	conn, err := net.Attach("coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(conn, session.Group{Objective: "test-session"})
+	t.Cleanup(func() { coord.Close() })
+	return net, coord
+}
+
+func TestCoordinatorArchivesAndReplays(t *testing.T) {
+	net, coord := newCoordinatedNet(t)
+	ca, _ := net.Attach("alice")
+	a := NewClient(ca, Config{})
+	defer a.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := a.Say(fmt.Sprintf("history line %d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "archive", func() bool { return coord.ArchivedEvents() == 3 })
+	if coord.Session().LastSeq() != 3 {
+		t.Errorf("session seq = %d", coord.Session().LastSeq())
+	}
+	if !coord.Session().IsMember("alice") {
+		t.Error("coordinator should auto-register observed senders")
+	}
+
+	// A late joiner requests the history and absorbs it.
+	cb, _ := net.Attach("late-bob")
+	b := NewClient(cb, Config{})
+	defer b.Close()
+	if b.Chat().Len() != 0 {
+		t.Fatal("late joiner should start empty")
+	}
+	if err := b.RequestHistory("coordinator", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replayed history", func() bool { return b.Chat().Len() == 3 })
+	lines := b.Chat().Lines()
+	if lines[0].Sender != "alice" || lines[0].Text != "history line 0" {
+		t.Errorf("replayed line: %+v", lines[0])
+	}
+
+	// Partial catch-up: only events after seq 2.
+	cc, _ := net.Attach("later-carol")
+	c := NewClient(cc, Config{})
+	defer c.Close()
+	if err := c.RequestHistory("coordinator", 2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "partial history", func() bool { return c.Chat().Len() == 1 })
+	if c.Chat().Lines()[0].Text != "history line 2" {
+		t.Errorf("partial replay: %+v", c.Chat().Lines())
+	}
+}
+
+func TestCoordinatorReplayRespectsSemanticFilter(t *testing.T) {
+	net, coord := newCoordinatedNet(t)
+	ca, _ := net.Attach("alice")
+	a := NewClient(ca, Config{})
+	defer a.Close()
+
+	if err := a.Say("for medics", `team == "medical"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Say("for everyone", ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "archive", func() bool { return coord.ArchivedEvents() == 2 })
+
+	// The late joiner is on the logistics team: the medical line is
+	// filtered out of its replayed history by its own profile.
+	cb, _ := net.Attach("bob")
+	b := NewClient(cb, Config{})
+	defer b.Close()
+	b.Profile().SetInterest("team", selector.S("logistics"))
+	if err := b.RequestHistory("coordinator", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "filtered replay", func() bool { return b.Stats().EventsFiltered >= 1 })
+	time.Sleep(30 * time.Millisecond)
+	if b.Chat().Len() != 1 || b.Chat().Lines()[0].Text != "for everyone" {
+		t.Errorf("filtered history: %+v", b.Chat().Lines())
+	}
+}
+
+func TestCoordinatorArchivesImageShares(t *testing.T) {
+	net, coord := newCoordinatedNet(t)
+	ca, _ := net.Attach("alice")
+	a := NewClient(ca, Config{})
+	defer a.Close()
+
+	im := wavelet.Circles(32, 32)
+	obj, err := media.EncodeImage(im, "archived diagram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ShareImage("arch-1", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	// 1 announce + 16 data packets.
+	waitFor(t, "image archive", func() bool { return coord.ArchivedEvents() == 17 })
+
+	// Late joiner recovers the full image from the archive.
+	cb, _ := net.Attach("bob")
+	b := NewClient(cb, Config{})
+	defer b.Close()
+	if err := b.RequestHistory("coordinator", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replayed image", func() bool {
+		st, err := b.Viewer().Stats("arch-1")
+		return err == nil && st.PacketsAccepted == 16
+	})
+	res, err := b.Viewer().Render("arch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lossless || !res.Image.Equal(im) {
+		t.Error("archived image should replay losslessly")
+	}
+}
+
+func TestCoordinatorArchiveCap(t *testing.T) {
+	net, coord := newCoordinatedNet(t)
+	ca, _ := net.Attach("alice")
+	a := NewClient(ca, Config{})
+	defer a.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := a.Say(fmt.Sprintf("m%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "archive fill", func() bool { return coord.ArchivedEvents() == 10 })
+	coord.SetArchiveCap(4)
+	if got := coord.ArchivedEvents(); got != 4 {
+		t.Errorf("frames after cap = %d, want 4", got)
+	}
+
+	cb, _ := net.Attach("bob")
+	b := NewClient(cb, Config{})
+	defer b.Close()
+	if err := b.RequestHistory("coordinator", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "capped replay", func() bool { return b.Chat().Len() == 4 })
+	if b.Chat().Lines()[0].Text != "m6" {
+		t.Errorf("oldest retained line: %+v", b.Chat().Lines()[0])
+	}
+}
+
+func TestCoordinatorGroupFilterSkipsArchival(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 52})
+	defer net.Close()
+	conn, _ := net.Attach("coordinator")
+	coord := NewCoordinator(conn, session.Group{
+		Objective: "clinical-only",
+		Filter:    selector.MustCompile(`client == "alice"`),
+	})
+	defer coord.Close()
+
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("mallory")
+	a := NewClient(ca, Config{})
+	m := NewClient(cb, Config{})
+	defer a.Close()
+	defer m.Close()
+
+	a.Say("kept", "")
+	m.Say("not archived", "")
+	waitFor(t, "selective archive", func() bool { return coord.ArchivedEvents() >= 1 })
+	time.Sleep(30 * time.Millisecond)
+	if got := coord.ArchivedEvents(); got != 1 {
+		t.Errorf("archived %d events, want 1 (group filter)", got)
+	}
+}

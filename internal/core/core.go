@@ -1,0 +1,701 @@
+// Package core implements the adaptive QoS collaboration framework:
+// the client that joins a multicast session, publishes semantically
+// addressed events, filters inbound traffic against its own profile,
+// drives the collaboration applications (chat, whiteboard, image
+// viewer), and runs the adaptation loop that couples the SNMP network
+// state interface to the inference engine.
+//
+// A wired client is a peer on the multicast substrate.  Wireless
+// clients join through a base station (package basestation), which is
+// itself a peer built on the same primitives.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/inference"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/rtp"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
+)
+
+// Framework errors.
+var (
+	ErrClosed = errors.New("core: client closed")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// TotalPackets is the packet count for shared images (default 16,
+	// the paper's value).
+	TotalPackets int
+	// Contract is the client's QoS contract (nil = empty contract).
+	Contract *profile.Contract
+	// Registry supplies modality transformers (nil = DefaultRegistry).
+	Registry *media.Registry
+	// Monitor, when set, is polled by AdaptOnce for system state; when
+	// nil the profile's existing state attributes are used directly.
+	Monitor *hostagent.Monitor
+	// MonitorParams are the parameters sampled from Monitor (default
+	// cpu-load and page-faults).
+	MonitorParams []string
+	// MaxPackets is the budget ceiling used by the default policy
+	// (default TotalPackets).
+	MaxPackets int
+	// SketchBps and TextBps are the default policy's bandwidth tiers
+	// (defaults 64 kbit/s and 16 kbit/s).
+	SketchBps, TextBps float64
+	// MTU bounds each wire datagram; larger message frames are
+	// fragmented transparently (default 8 KiB).
+	MTU int
+	// DisableSenderAdaptation turns off RTCP-feedback-driven send-side
+	// packet reduction (on by default; see SendReceptionReports).
+	DisableSenderAdaptation bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalPackets <= 0 {
+		c.TotalPackets = 16
+	}
+	if c.Registry == nil {
+		c.Registry = media.DefaultRegistry()
+	}
+	if len(c.MonitorParams) == 0 {
+		c.MonitorParams = []string{hostagent.ParamCPULoad, hostagent.ParamPageFaults}
+	}
+	if c.MaxPackets <= 0 {
+		c.MaxPackets = c.TotalPackets
+	}
+	if c.SketchBps == 0 {
+		c.SketchBps = 64_000
+	}
+	if c.TextBps == 0 {
+		c.TextBps = 16_000
+	}
+	return c
+}
+
+// Stats counts client-level events.
+type Stats struct {
+	EventsReceived uint64 // semantic messages accepted
+	EventsFiltered uint64 // messages rejected by the profile
+	DataPackets    uint64 // image data packets ingested
+	DecodeErrors   uint64 // undecodable frames or payloads
+}
+
+// Client is one collaborating endpoint.
+type Client struct {
+	cfg    Config
+	conn   transport.Conn
+	pm     *profile.Manager
+	engine *inference.Engine
+
+	chat    *apps.ChatArea
+	wb      *apps.Whiteboard
+	viewer  *apps.ImageViewer
+	inbox   *apps.MediaInbox
+	locks   *lockTable
+	reports *reportState
+
+	env    message.Enveloper
+	unwrap *message.Unwrapper
+
+	clock   session.LamportClock
+	rtpSend *rtp.Sender
+	rtpMu   sync.Mutex
+	rtpRecv map[string]*rtp.Receiver // per-sender reorder/loss state
+
+	// seq numbers event/data frames (gapless per sender: archive
+	// coordinators reorder on it); ctrlSeq numbers control frames
+	// separately so they never leave gaps in the event stream.
+	seq     atomic.Uint32
+	ctrlSeq atomic.Uint32
+
+	mu           sync.RWMutex
+	lastDecision inference.Decision
+
+	// pendingData parks image packets that arrive before their
+	// announce event (the substrate does not guarantee ordering across
+	// messages); flushed when the announce lands.
+	pendingMu   sync.Mutex
+	pendingData map[string][]pendingPacket
+
+	stats struct {
+		received, filtered, data, errors atomic.Uint64
+	}
+
+	closeOnce sync.Once
+	done      chan struct{}
+	loopDone  chan struct{}
+}
+
+// NewClient attaches a client to the substrate and starts its receive
+// loop.  Callers configure interests/capabilities through Profile().
+func NewClient(conn transport.Conn, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg:         cfg,
+		conn:        conn,
+		pm:          profile.NewManager(conn.ID()),
+		engine:      inference.New(cfg.Contract),
+		chat:        apps.NewChatArea(),
+		wb:          apps.NewWhiteboard(),
+		viewer:      apps.NewImageViewer(),
+		inbox:       apps.NewMediaInbox(),
+		locks:       newLockTable(),
+		reports:     newReportState(),
+		rtpSend:     rtp.NewSender(fnv32(conn.ID()), 96, 0),
+		rtpRecv:     make(map[string]*rtp.Receiver),
+		pendingData: make(map[string][]pendingPacket),
+		env:         message.Enveloper{MTU: cfg.MTU},
+		unwrap:      message.NewUnwrapper(),
+		done:        make(chan struct{}),
+		loopDone:    make(chan struct{}),
+	}
+	if err := inference.DefaultPolicy(c.engine, cfg.MaxPackets, cfg.SketchBps, cfg.TextBps); err != nil {
+		// The default policy is static; failure means a programming error.
+		panic(fmt.Sprintf("core: default policy: %v", err))
+	}
+	c.lastDecision = inference.Decision{PacketBudget: inference.Unlimited}
+	go c.recvLoop()
+	return c
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ID returns the client's substrate identifier.
+func (c *Client) ID() string { return c.conn.ID() }
+
+// Profile returns the client's profile manager.
+func (c *Client) Profile() *profile.Manager { return c.pm }
+
+// Engine returns the client's inference engine for custom policies.
+func (c *Client) Engine() *inference.Engine { return c.engine }
+
+// Chat returns the chat application state.
+func (c *Client) Chat() *apps.ChatArea { return c.chat }
+
+// Whiteboard returns the whiteboard application state.
+func (c *Client) Whiteboard() *apps.Whiteboard { return c.wb }
+
+// Viewer returns the image viewer application state.
+func (c *Client) Viewer() *apps.ImageViewer { return c.viewer }
+
+// Inbox returns the direct media-delivery inbox (tiered content from a
+// base station arrives here).
+func (c *Client) Inbox() *apps.MediaInbox { return c.inbox }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		EventsReceived: c.stats.received.Load(),
+		EventsFiltered: c.stats.filtered.Load(),
+		DataPackets:    c.stats.data.Load(),
+		DecodeErrors:   c.stats.errors.Load(),
+	}
+}
+
+// LastDecision returns the most recent adaptation decision.
+func (c *Client) LastDecision() inference.Decision {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastDecision
+}
+
+// Close detaches the client and stops its loops.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.conn.Close()
+		<-c.loopDone
+	})
+	return err
+}
+
+// --- Sending ---
+
+func (c *Client) newMessage(kind message.Kind, sel string, attrs selector.Attributes, body []byte) *message.Message {
+	return &message.Message{
+		Kind:      kind,
+		Sender:    c.ID(),
+		Seq:       c.seq.Add(1),
+		Timestamp: time.Now(),
+		Selector:  sel,
+		Attrs:     attrs,
+		Body:      body,
+	}
+}
+
+func (c *Client) multicast(m *message.Message) error {
+	frame, err := message.Encode(m)
+	if err != nil {
+		return err
+	}
+	datagrams, err := c.env.Wrap(frame)
+	if err != nil {
+		return err
+	}
+	for _, d := range datagrams {
+		if err := c.conn.Multicast(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unicastMessage sends one message to a specific peer, enveloped.
+func (c *Client) unicastMessage(to string, m *message.Message) error {
+	frame, err := message.Encode(m)
+	if err != nil {
+		return err
+	}
+	datagrams, err := c.env.Wrap(frame)
+	if err != nil {
+		return err
+	}
+	for _, d := range datagrams {
+		if err := c.conn.Unicast(to, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Say publishes a chat line addressed to profiles matching sel ("" =
+// everyone).
+func (c *Client) Say(text, sel string) error {
+	attrs := selector.Attributes{
+		message.AttrApp:   selector.S(apps.AppChat),
+		message.AttrMedia: selector.S(string(media.KindText)),
+		message.AttrSize:  selector.N(float64(len(text))),
+		"lamport":         selector.N(float64(c.clock.Tick())),
+	}
+	// The local state repository reflects the local action immediately.
+	if err := c.chat.Apply(c.ID(), apps.EncodeSay(text)); err != nil {
+		return err
+	}
+	return c.multicast(c.newMessage(message.KindEvent, sel, attrs, apps.EncodeSay(text)))
+}
+
+// Draw publishes a whiteboard stroke.
+func (c *Client) Draw(s apps.Stroke, sel string) error {
+	payload := apps.EncodeStroke(s)
+	attrs := selector.Attributes{
+		message.AttrApp:   selector.S(apps.AppWhiteboard),
+		message.AttrMedia: selector.S("stroke"),
+		"lamport":         selector.N(float64(c.clock.Tick())),
+	}
+	if err := c.wb.Apply(payload); err != nil {
+		return err
+	}
+	return c.multicast(c.newMessage(message.KindEvent, sel, attrs, payload))
+}
+
+// ShareImage publishes a progressive image: an announce event followed
+// by TotalPackets data packets, each a prefix-extending slice of the
+// embedded stream.  Receivers accept packets up to their own inferred
+// budget.
+func (c *Client) ShareImage(object string, obj *media.Object, sel string) error {
+	meta, packets, err := apps.ShareImage(object, obj, c.cfg.TotalPackets)
+	if err != nil {
+		return err
+	}
+	// Local state first.
+	c.viewer.Announce(meta)
+	for i, p := range packets {
+		if err := c.viewer.AddPacket(object, i, p); err != nil {
+			return err
+		}
+	}
+
+	announceAttrs := obj.Attrs().Merge(selector.Attributes{
+		message.AttrApp:    selector.S(apps.AppImageViewer),
+		message.AttrObject: selector.S(object),
+		"lamport":          selector.N(float64(c.clock.Tick())),
+	})
+	if err := c.multicast(c.newMessage(message.KindEvent, sel, announceAttrs, apps.EncodeImageMeta(meta))); err != nil {
+		return err
+	}
+
+	// Send-side adaptation: when receivers have reported loss, there is
+	// no point transmitting tail packets nobody can use — the sender
+	// truncates the progressive stream itself.
+	if budget := c.sendBudget(len(packets)); budget < len(packets) {
+		packets = packets[:budget]
+	}
+	for i, p := range packets {
+		pkt := c.rtpSend.Next(uint32(time.Now().UnixMilli()), i == len(packets)-1, p)
+		attrs := selector.Attributes{
+			message.AttrApp:    selector.S(apps.AppImageViewer),
+			message.AttrObject: selector.S(object),
+			message.AttrMedia:  selector.S(string(media.KindImage)),
+			message.AttrLevel:  selector.N(float64(i)),
+		}
+		if err := c.multicast(c.newMessage(message.KindData, sel, attrs, pkt.Marshal())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnnounceProfile publishes the client's current interests and
+// preferences as a profile message — unicast to one peer (typically
+// the base station managing QoS on this client's behalf) or, with
+// to == "", multicast to the session.  A thin client running low on
+// power announces {"modality": "text"} this way and the base station
+// degrades its downlink accordingly.
+func (c *Client) AnnounceProfile(to string) error {
+	snap := c.pm.Snapshot()
+	attrs := make(selector.Attributes, len(snap.Interests)+len(snap.Preferences))
+	for k, v := range snap.Interests {
+		attrs[profile.SectionInterest+"."+k] = v
+	}
+	for k, v := range snap.Preferences {
+		attrs[profile.SectionPreference+"."+k] = v
+	}
+	m := &message.Message{
+		Kind:      message.KindProfile,
+		Sender:    c.ID(),
+		Seq:       c.ctrlSeq.Add(1),
+		Timestamp: time.Now(),
+		Attrs:     attrs,
+	}
+	if to == "" {
+		return c.multicast(m)
+	}
+	return c.unicastMessage(to, m)
+}
+
+// --- Receiving ---
+
+func (c *Client) recvLoop() {
+	defer close(c.loopDone)
+	for pkt := range c.conn.Recv() {
+		c.handleFrame(pkt)
+	}
+}
+
+func (c *Client) handleFrame(pkt transport.Packet) {
+	frame, err := c.unwrap.Unwrap(pkt.From, pkt.Data)
+	if err != nil {
+		c.stats.errors.Add(1)
+		return
+	}
+	if frame == nil {
+		return // fragment of a larger message, not yet complete
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		c.stats.errors.Add(1)
+		return
+	}
+	if m.Sender == c.ID() {
+		return // self-delivery via relays
+	}
+	// Semantic interpretation: the message selector is evaluated
+	// against this client's profile; non-matching traffic is dropped
+	// without any name-based addressing.
+	if !m.MatchProfile(c.pm.Snapshot().Flatten()) {
+		c.stats.filtered.Add(1)
+		return
+	}
+	if lam, ok := m.Attrs["lamport"]; ok {
+		c.clock.Witness(uint64(lam.Num()))
+	}
+
+	switch m.Kind {
+	case message.KindEvent:
+		c.handleEvent(m)
+	case message.KindData:
+		c.handleData(m)
+	case message.KindControl:
+		// RTCP feedback and lock notifications; other control traffic
+		// belongs to coordinators and base stations.
+		if c.handleRTCPReport(m) {
+			return
+		}
+		c.handleLockControl(m)
+	}
+}
+
+func (c *Client) handleEvent(m *message.Message) {
+	app, _ := m.Attr(message.AttrApp)
+	switch app.Str() {
+	case apps.AppChat:
+		if err := c.chat.Apply(m.Sender, m.Body); err != nil {
+			c.stats.errors.Add(1)
+			return
+		}
+	case apps.AppWhiteboard:
+		if err := c.wb.Apply(m.Body); err != nil {
+			c.stats.errors.Add(1)
+			return
+		}
+	case apps.AppImageViewer:
+		meta, err := apps.DecodeImageMeta(m.Body)
+		if err != nil {
+			c.stats.errors.Add(1)
+			return
+		}
+		c.viewer.Announce(meta)
+		c.flushPending(meta.Object)
+	case apps.AppMedia:
+		if err := c.inbox.Apply(m.Sender, m.Body); err != nil {
+			c.stats.errors.Add(1)
+			return
+		}
+	default:
+		c.stats.errors.Add(1)
+		return
+	}
+	c.stats.received.Add(1)
+}
+
+func (c *Client) handleData(m *message.Message) {
+	app, _ := m.Attr(message.AttrApp)
+	if app.Str() != apps.AppImageViewer {
+		c.stats.errors.Add(1)
+		return
+	}
+	object, ok := m.Attr(message.AttrObject)
+	if !ok {
+		c.stats.errors.Add(1)
+		return
+	}
+	level, ok := m.Attr(message.AttrLevel)
+	if !ok {
+		c.stats.errors.Add(1)
+		return
+	}
+	pkt, err := rtp.Unmarshal(m.Body)
+	if err != nil {
+		c.stats.errors.Add(1)
+		return
+	}
+	// Track per-sender reception statistics (loss, jitter) — the
+	// RTP/RTCP layer's receiver role.
+	c.rtpMu.Lock()
+	recv, okR := c.rtpRecv[m.Sender]
+	if !okR {
+		recv = rtp.NewReceiver(64)
+		c.rtpRecv[m.Sender] = recv
+	}
+	c.rtpMu.Unlock()
+	recv.Push(pkt, uint32(time.Now().UnixMilli()))
+
+	if err := c.viewer.AddPacket(object.Str(), int(level.Num()), pkt.Payload); err != nil {
+		if errors.Is(err, apps.ErrUnknownImage) {
+			// The packet overtook its announce; park it.
+			c.parkPacket(object.Str(), int(level.Num()), pkt.Payload)
+			return
+		}
+		c.stats.errors.Add(1)
+		return
+	}
+	c.stats.data.Add(1)
+}
+
+// pendingPacket is one parked early-arriving image packet.
+type pendingPacket struct {
+	idx  int
+	data []byte
+}
+
+// Bounds on parked state so unannounced traffic cannot pin memory.
+const (
+	maxPendingObjects = 32
+	maxPendingPerObj  = 64
+)
+
+func (c *Client) parkPacket(object string, idx int, data []byte) {
+	c.pendingMu.Lock()
+	defer c.pendingMu.Unlock()
+	if _, ok := c.pendingData[object]; !ok && len(c.pendingData) >= maxPendingObjects {
+		return // drop: too many unannounced objects
+	}
+	q := c.pendingData[object]
+	if len(q) >= maxPendingPerObj {
+		return
+	}
+	c.pendingData[object] = append(q, pendingPacket{idx: idx, data: append([]byte(nil), data...)})
+}
+
+func (c *Client) flushPending(object string) {
+	c.pendingMu.Lock()
+	q := c.pendingData[object]
+	delete(c.pendingData, object)
+	c.pendingMu.Unlock()
+	for _, p := range q {
+		if err := c.viewer.AddPacket(object, p.idx, p.data); err != nil {
+			c.stats.errors.Add(1)
+			continue
+		}
+		c.stats.data.Add(1)
+	}
+}
+
+// Trap implements snmp.TrapSink: an SNMPv2 trap from a host agent's
+// alarm evaluator updates the profile state immediately and re-runs
+// the inference engine — push-driven adaptation without waiting for
+// the next poll.  Unknown or malformed traps are counted and ignored.
+func (c *Client) Trap(frame []byte) {
+	msg, err := snmp.DecodeMessage(frame)
+	if err != nil || msg.PDU.Type != snmp.TrapV2 {
+		c.stats.errors.Add(1)
+		return
+	}
+	state := make(selector.Attributes)
+	for _, vb := range msg.PDU.VarBinds {
+		param, ok := hostagent.ParamForOID(vb.OID)
+		if !ok {
+			continue
+		}
+		if n, numeric := vb.Value.Number(); numeric {
+			state.SetNumber(param, n)
+		}
+	}
+	if len(state) == 0 {
+		return
+	}
+	c.pm.Update(func(p *profile.Profile) {
+		for k, v := range state {
+			p.State[k] = v
+		}
+	})
+	// Decide over the full accumulated state, not just the trap's
+	// variables (the trap may only carry the parameter that crossed).
+	full := make(selector.Attributes)
+	for k, v := range c.pm.Snapshot().State {
+		full[k] = v
+	}
+	if loss, ok := c.observedLoss(); ok {
+		full.SetNumber(inference.StateLoss, loss)
+	}
+	d := c.engine.Decide(full)
+	c.viewer.SetBudget(d.EffectiveBudget(c.cfg.TotalPackets))
+	if d.Modality != "" {
+		c.pm.SetPreference("modality", selector.S(string(d.Modality)))
+	}
+	c.mu.Lock()
+	c.lastDecision = d
+	c.mu.Unlock()
+}
+
+// observedLoss aggregates the data-packet loss fraction across every
+// sender's RTP reception statistics.  ok is false when no data packets
+// have been seen at all.
+func (c *Client) observedLoss() (float64, bool) {
+	c.rtpMu.Lock()
+	defer c.rtpMu.Unlock()
+	var received, lost uint64
+	for _, r := range c.rtpRecv {
+		s := r.Snapshot()
+		received += s.Received
+		lost += s.Lost
+	}
+	if received+lost == 0 {
+		return 0, false
+	}
+	return float64(lost) / float64(received+lost), true
+}
+
+// ReceptionReport returns the RTP-level reception statistics for a
+// sender's data stream.
+func (c *Client) ReceptionReport(sender string) (rtp.Stats, bool) {
+	c.rtpMu.Lock()
+	defer c.rtpMu.Unlock()
+	r, ok := c.rtpRecv[sender]
+	if !ok {
+		return rtp.Stats{}, false
+	}
+	return r.Snapshot(), true
+}
+
+// --- Adaptation ---
+
+// AdaptOnce runs one adaptation cycle: sample system state (via the
+// SNMP monitor when configured), fold it into the profile, run the
+// inference engine, and configure the applications accordingly.  It
+// returns the decision taken.
+func (c *Client) AdaptOnce() (inference.Decision, error) {
+	state := make(selector.Attributes)
+	if c.cfg.Monitor != nil {
+		sample, err := c.cfg.Monitor.Sample(c.cfg.MonitorParams...)
+		if err != nil {
+			return inference.Decision{}, fmt.Errorf("core: state sample: %w", err)
+		}
+		for k, v := range sample {
+			state.SetNumber(k, v)
+		}
+	} else {
+		for k, v := range c.pm.Snapshot().State {
+			state[k] = v
+		}
+	}
+	// Fold in transport-level reception quality: the RTP layer's loss
+	// and jitter accounting is part of the network state the engine
+	// (and the QoS contract) adapts to.
+	if loss, ok := c.observedLoss(); ok {
+		state.SetNumber(inference.StateLoss, loss)
+	}
+	if jitter, ok := c.observedJitter(); ok {
+		state.SetNumber("jitter", jitter)
+	}
+
+	// Fold the observed state into the profile (it is part of the
+	// client's selectable identity).
+	c.pm.Update(func(p *profile.Profile) {
+		for k, v := range state {
+			p.State[k] = v
+		}
+	})
+
+	d := c.engine.Decide(state)
+	c.viewer.SetBudget(d.EffectiveBudget(c.cfg.TotalPackets))
+	if d.Modality != "" {
+		c.pm.SetPreference("modality", selector.S(string(d.Modality)))
+	}
+
+	c.mu.Lock()
+	c.lastDecision = d
+	c.mu.Unlock()
+	return d, nil
+}
+
+// StartAdaptation runs AdaptOnce every interval until the client is
+// closed.  Sampling errors are counted and skipped.
+func (c *Client) StartAdaptation(interval time.Duration) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-ticker.C:
+				if _, err := c.AdaptOnce(); err != nil {
+					c.stats.errors.Add(1)
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// TestImageShareOverLossyLink: with 20 % loss, the receiver still
+// renders a usable image from whatever contiguous prefix survived —
+// the progressive stream's whole point.
+func TestImageShareOverLossyLink(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 21})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	net.SetLink("alice", "bob", transport.Link{Loss: 0.2})
+
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{})
+	defer a.Close()
+	defer b.Close()
+
+	im := wavelet.Medical(64, 64, 2)
+	obj, err := media.EncodeImage(im, "lossy scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Share several images: at 20% loss at least one share will lose
+	// packets, and every received prefix must still render.
+	for i := 0; i < 5; i++ {
+		if err := a.ShareImage(fmt.Sprintf("img-%d", i), obj, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	rendered := 0
+	var lostSomething bool
+	for _, object := range b.Viewer().Objects() {
+		st, err := b.Viewer().Stats(object)
+		if err != nil {
+			continue
+		}
+		if st.PacketsReceived < st.TotalPackets {
+			lostSomething = true
+		}
+		res, err := b.Viewer().Render(object)
+		if err != nil {
+			t.Fatalf("%s: render: %v", object, err)
+		}
+		if res.Image.W != 64 || res.Image.H != 64 {
+			t.Fatalf("%s: bad render size", object)
+		}
+		rendered++
+	}
+	if rendered == 0 {
+		t.Fatal("nothing rendered at all")
+	}
+	if !lostSomething {
+		t.Log("note: no loss observed this run (seed-dependent); prefix path untested here")
+	}
+}
+
+// TestChatOverDuplicatingReorderingLink: duplicated frames must not
+// duplicate chat lines beyond the duplicates themselves being separate
+// sends... chat is idempotent per message only at the transport level,
+// so the assertion is that nothing crashes and ordering state stays
+// sane under duplication + jitter.
+func TestChatOverDuplicatingReorderingLink(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 22})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	net.SetLink("alice", "bob", transport.Link{
+		Duplicate: 0.5,
+		Jitter:    3 * time.Millisecond,
+	})
+
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{})
+	defer a.Close()
+	defer b.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Say(fmt.Sprintf("line %d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	got := b.Chat().Len()
+	if got < n {
+		t.Errorf("received %d of %d lines", got, n)
+	}
+	// Duplicates may add lines (chat is an append log) but never lose
+	// any, and the decode-error counter must stay clean.
+	if st := b.Stats(); st.DecodeErrors != 0 {
+		t.Errorf("decode errors under duplication: %d", st.DecodeErrors)
+	}
+}
+
+// TestAdaptOnceSurvivesSNMPTimeouts: a flaky agent (dropped requests)
+// produces an error from AdaptOnce, and the client keeps its previous
+// decision rather than flailing.
+func TestAdaptOnceSurvivesSNMPTimeouts(t *testing.T) {
+	host := newFlakyHost(t)
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 23})
+	defer net.Close()
+	conn, _ := net.Attach("c")
+	c := NewClient(conn, Config{Monitor: host.monitor})
+	defer c.Close()
+
+	// First sample succeeds and constrains the budget.
+	host.dropNext(0)
+	host.set(90, 80)
+	d1, err := c.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := d1.EffectiveBudget(16)
+	if constrained >= 16 {
+		t.Fatalf("budget = %d, want constrained", constrained)
+	}
+
+	// Now the agent goes dark: AdaptOnce errors, decision unchanged.
+	host.dropNext(1000)
+	if _, err := c.AdaptOnce(); err == nil {
+		t.Fatal("expected sampling error")
+	}
+	if got := c.LastDecision().EffectiveBudget(16); got != constrained {
+		t.Errorf("decision changed on failed sample: %d -> %d", constrained, got)
+	}
+}
+
+// TestImageShareAcrossPartitionHeal: packets lost to a partition are
+// gone (no retransmission — real-time collaboration), but traffic
+// after the heal flows again.
+func TestImageShareAcrossPartitionHeal(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 24})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{})
+	defer a.Close()
+	defer b.Close()
+
+	net.Partition("alice", "bob", true)
+	if err := a.Say("into the void", ""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if b.Chat().Len() != 0 {
+		t.Fatal("message crossed a partition")
+	}
+
+	net.Partition("alice", "bob", false)
+	if err := a.Say("after heal", ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-heal delivery", func() bool { return b.Chat().Len() == 1 })
+	if b.Chat().Lines()[0].Text != "after heal" {
+		t.Errorf("post-heal line: %+v", b.Chat().Lines())
+	}
+}

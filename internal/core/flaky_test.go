@@ -1,0 +1,41 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/snmp"
+)
+
+// flakyHost is a test helper: a simulated host whose SNMP transport
+// can be told to drop the next N requests.
+type flakyHost struct {
+	host    *hostagent.Host
+	monitor *hostagent.Monitor
+	drops   atomic.Int64
+}
+
+func newFlakyHost(t *testing.T) *flakyHost {
+	t.Helper()
+	f := &flakyHost{host: hostagent.NewHost("flaky")}
+	rt := &snmp.AgentRoundTripper{
+		Agent: hostagent.NewAgent(f.host),
+		Drop: func() bool {
+			if f.drops.Load() > 0 {
+				f.drops.Add(-1)
+				return true
+			}
+			return false
+		},
+	}
+	f.monitor = &hostagent.Monitor{Client: snmp.NewClient(rt, snmp.V2c, "public")}
+	return f
+}
+
+func (f *flakyHost) dropNext(n int64) { f.drops.Store(n) }
+
+func (f *flakyHost) set(cpu, faults float64) {
+	f.host.Set(hostagent.ParamCPULoad, cpu)
+	f.host.Set(hostagent.ParamPageFaults, faults)
+}

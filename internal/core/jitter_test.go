@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// TestJitterEntersContractEvaluation: a QoS contract bounding jitter
+// is evaluated against the RTP-observed jitter during adaptation.
+func TestJitterEntersContractEvaluation(t *testing.T) {
+	contract := profile.MustContract("strict",
+		profile.Constraint{Param: "jitter", Min: 0, Max: 1000, Hard: true})
+
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 131})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	// Jittery link so arrival spacing varies.
+	net.SetLink("alice", "bob", transport.Link{Jitter: 15 * time.Millisecond})
+
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{Contract: contract})
+	defer a.Close()
+	defer b.Close()
+
+	obj, err := media.EncodeImage(wavelet.Medical(64, 64, 17), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ShareImage("jittery", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "packets", func() bool { return b.Stats().DataPackets >= 14 })
+
+	d, err := b.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contract saw a jitter measurement (whatever its value: the
+	// parameter must not be "missing").
+	for _, missing := range d.Contract.Missing {
+		if missing == "jitter" {
+			t.Fatalf("jitter not observed: %+v", d.Contract)
+		}
+	}
+	if _, ok := b.observedJitter(); !ok {
+		t.Fatal("no jitter observation despite received data")
+	}
+
+	// With no data streams at all the parameter is missing and a hard
+	// jitter contract is unsatisfied (fail-closed).
+	cc, _ := net.Attach("carol")
+	c := NewClient(cc, Config{Contract: contract})
+	defer c.Close()
+	d, err = c.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Contract.Satisfied {
+		t.Error("contract satisfied without any jitter observation")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/selector"
+)
+
+// Distributed concurrency control: clients request exclusive locks on
+// shared objects from the session coordinator, which arbitrates with a
+// FIFO queue (session.ObjectLocks).  When two users select the same
+// information for sharing at the same time, arbitration ensures no
+// information is lost: one edits, the other queues.
+
+// Lock-protocol control vocabulary.
+const (
+	ctrlLockRequest = "lock-request"
+	ctrlLockRelease = "lock-release"
+	ctrlLockGrant   = "lock-grant"
+	ctrlLockWait    = "lock-wait"
+	attrObject      = "object"
+	attrHolder      = "holder"
+)
+
+// LockStatus is a client's view of one object lock.
+type LockStatus string
+
+// Lock states as seen by a client.
+const (
+	// LockNone: this client holds no claim on the object.
+	LockNone LockStatus = ""
+	// LockPending: a request is in flight.
+	LockPending LockStatus = "pending"
+	// LockWaiting: the coordinator queued this client behind a holder.
+	LockWaiting LockStatus = "waiting"
+	// LockGranted: this client holds the lock.
+	LockGranted LockStatus = "granted"
+)
+
+// LockEvent notifies a lock-state change.
+type LockEvent struct {
+	Object string
+	Status LockStatus
+	// Holder is the current holder when Status is LockWaiting.
+	Holder string
+}
+
+// lockTable is the client-side lock view.
+type lockTable struct {
+	mu     sync.Mutex
+	states map[string]LockStatus
+	events chan LockEvent
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{
+		states: make(map[string]LockStatus),
+		events: make(chan LockEvent, 32),
+	}
+}
+
+func (lt *lockTable) set(object string, st LockStatus, holder string) {
+	lt.mu.Lock()
+	if st == LockNone {
+		delete(lt.states, object)
+	} else {
+		lt.states[object] = st
+	}
+	lt.mu.Unlock()
+	select {
+	case lt.events <- LockEvent{Object: object, Status: st, Holder: holder}:
+	default: // slow consumer: state remains queryable via LockState
+	}
+}
+
+func (lt *lockTable) get(object string) LockStatus {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.states[object]
+}
+
+// LockState reports this client's standing on an object lock.
+func (c *Client) LockState(object string) LockStatus {
+	return c.locks.get(object)
+}
+
+// LockEvents delivers lock-state change notifications.  Events are
+// dropped for slow consumers; LockState always has the latest truth.
+func (c *Client) LockEvents() <-chan LockEvent {
+	return c.locks.events
+}
+
+func (c *Client) sendLockControl(coordinator, ctrl, object string) error {
+	m := &message.Message{
+		Kind:      message.KindControl,
+		Sender:    c.ID(),
+		Seq:       c.ctrlSeq.Add(1),
+		Timestamp: time.Now(),
+		Attrs: selector.Attributes{
+			attrCtrl:   selector.S(ctrl),
+			attrObject: selector.S(object),
+		},
+	}
+	return c.unicastMessage(coordinator, m)
+}
+
+// RequestLock asks the coordinator for the exclusive lock on object.
+// The outcome arrives asynchronously (LockEvents / LockState): either
+// LockGranted or LockWaiting behind the current holder.
+func (c *Client) RequestLock(coordinator, object string) error {
+	c.locks.set(object, LockPending, "")
+	return c.sendLockControl(coordinator, ctrlLockRequest, object)
+}
+
+// ReleaseLock gives the lock back; the coordinator promotes the first
+// waiter, if any.
+func (c *Client) ReleaseLock(coordinator, object string) error {
+	c.locks.set(object, LockNone, "")
+	return c.sendLockControl(coordinator, ctrlLockRelease, object)
+}
+
+// handleLockControl processes coordinator → client lock notifications.
+func (c *Client) handleLockControl(m *message.Message) bool {
+	ctrl, ok := m.Attr(attrCtrl)
+	if !ok {
+		return false
+	}
+	object, _ := m.Attr(attrObject)
+	switch ctrl.Str() {
+	case ctrlLockGrant:
+		c.locks.set(object.Str(), LockGranted, c.ID())
+		return true
+	case ctrlLockWait:
+		holder, _ := m.Attr(attrHolder)
+		c.locks.set(object.Str(), LockWaiting, holder.Str())
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/transport"
+)
+
+// TestLockStressMutualExclusion: many clients hammer one object; at
+// most one holds the lock at any time, every requester eventually gets
+// it, and the critical-section counter shows no lost updates.
+func TestLockStressMutualExclusion(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 71})
+	defer net.Close()
+	cc, _ := net.Attach("coordinator")
+	coord := NewCoordinator(cc, session.Group{Objective: "stress"})
+	defer coord.Close()
+
+	const nClients = 6
+	const perClient = 5
+
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		conn, err := net.Attach(fmt.Sprintf("client-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewClient(conn, Config{})
+		defer clients[i].Close()
+	}
+
+	var mu sync.Mutex
+	inCritical := 0
+	maxConcurrent := 0
+	total := 0
+
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				if err := c.RequestLock("coordinator", "hot"); err != nil {
+					t.Errorf("%s: request: %v", c.ID(), err)
+					return
+				}
+				deadline := time.Now().Add(5 * time.Second)
+				for c.LockState("hot") != LockGranted {
+					if time.Now().After(deadline) {
+						t.Errorf("%s: starved waiting for lock", c.ID())
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+				mu.Lock()
+				inCritical++
+				if inCritical > maxConcurrent {
+					maxConcurrent = inCritical
+				}
+				total++
+				mu.Unlock()
+
+				time.Sleep(time.Millisecond) // hold briefly
+
+				mu.Lock()
+				inCritical--
+				mu.Unlock()
+				if err := c.ReleaseLock("coordinator", "hot"); err != nil {
+					t.Errorf("%s: release: %v", c.ID(), err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if maxConcurrent != 1 {
+		t.Errorf("mutual exclusion violated: %d concurrent holders", maxConcurrent)
+	}
+	if total != nClients*perClient {
+		t.Errorf("critical sections = %d, want %d", total, nClients*perClient)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/inference"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// TestLossFeedsAdaptation: observed RTP data loss constrains the next
+// adaptation decision even when host metrics look healthy.
+func TestLossFeedsAdaptation(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 31})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	// Heavy loss toward bob.
+	net.SetLink("alice", "bob", transport.Link{Loss: 0.5})
+
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{})
+	defer a.Close()
+	defer b.Close()
+
+	obj, err := media.EncodeImage(wavelet.Circles(64, 64), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several shares so the reorder window declares losses.
+	for i := 0; i < 6; i++ {
+		if err := a.ShareImage(fmt.Sprintf("o-%d", i), obj, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	loss, ok := b.observedLoss()
+	if !ok {
+		t.Fatal("no data packets observed at all")
+	}
+	if loss <= 0 {
+		t.Skip("no losses registered this run (reorder window still holding gaps)")
+	}
+
+	d, err := b.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EffectiveBudget(16); got >= 16 {
+		t.Errorf("budget %d not constrained despite %.0f%% observed loss", got, loss*100)
+	}
+	found := false
+	for _, r := range d.Fired {
+		if r == "loss-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loss-budget rule did not fire: %v", d.Fired)
+	}
+	_ = inference.StateLoss
+}
+
+// TestNoLossNoConstraint: a clean link leaves the budget unconstrained
+// by the loss rule.
+func TestNoLossNoConstraint(t *testing.T) {
+	a, b, _ := newPair(t)
+	obj, err := media.EncodeImage(wavelet.Circles(32, 32), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ShareImage("clean", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "clean delivery", func() bool {
+		st, err := b.Viewer().Stats("clean")
+		return err == nil && st.PacketsReceived == 16
+	})
+	d, err := b.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EffectiveBudget(16); got != 16 {
+		t.Errorf("budget on clean link = %d, want 16", got)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// TestLargeEventFragmentsAcrossMTU: a media event far larger than the
+// configured MTU crosses the substrate transparently via envelope
+// fragmentation.
+func TestLargeEventFragmentsAcrossMTU(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 111})
+	defer net.Close()
+	ca, _ := net.Attach("alice")
+	cb, _ := net.Attach("bob")
+	// Tiny MTU forces fragmentation of nearly everything.
+	a := NewClient(ca, Config{MTU: 256})
+	b := NewClient(cb, Config{MTU: 256})
+	defer a.Close()
+	defer b.Close()
+
+	// A chat line bigger than the MTU.
+	long := strings.Repeat("the quick brown fox ", 200) // ~4 KB
+	if err := a.Say(long, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fragmented chat", func() bool { return b.Chat().Len() == 1 })
+	if b.Chat().Lines()[0].Text != long {
+		t.Error("fragmented chat line corrupted")
+	}
+
+	// A full image share: every announce/data message re-fragments.
+	im := wavelet.Medical(96, 96, 7)
+	obj, err := media.EncodeImage(im, "large share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ShareImage("big-1", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fragmented image", func() bool {
+		st, err := b.Viewer().Stats("big-1")
+		return err == nil && st.PacketsAccepted == 16
+	})
+	res, err := b.Viewer().Render("big-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lossless || !res.Image.Equal(im) {
+		t.Error("fragmented image share should still be lossless")
+	}
+	if st := b.Stats(); st.DecodeErrors != 0 {
+		t.Errorf("decode errors under fragmentation: %d", st.DecodeErrors)
+	}
+}

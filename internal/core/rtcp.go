@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adaptiveqos/internal/inference"
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/rtp"
+	"adaptiveqos/internal/selector"
+)
+
+// RTCP-style feedback: receivers periodically report their reception
+// quality per sender; senders aggregate the worst report and reduce
+// what they transmit — the send-side half of adaptation ("centralized
+// adaptation of the information transferred"), complementing the
+// receive-side packet budget.
+
+const (
+	ctrlRTCPReport = "rtcp-rr"
+	attrSubject    = "subject"       // the sender the report describes
+	attrFracLost   = "fraction-lost" // loss fraction in [0,1]
+	attrJitterMs   = "jitter-ms"
+)
+
+// reportState aggregates inbound reception reports about this client's
+// own data streams.
+type reportState struct {
+	mu      sync.Mutex
+	byPeer  map[string]float64 // reporter → last fraction lost
+	expires map[string]time.Time
+}
+
+func newReportState() *reportState {
+	return &reportState{
+		byPeer:  make(map[string]float64),
+		expires: make(map[string]time.Time),
+	}
+}
+
+// reportTTL bounds how long a stale report keeps throttling a sender.
+const reportTTL = 30 * time.Second
+
+func (rs *reportState) record(reporter string, fracLost float64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.byPeer[reporter] = fracLost
+	rs.expires[reporter] = time.Now().Add(reportTTL)
+}
+
+// worst returns the highest live loss fraction reported by any peer.
+func (rs *reportState) worst() float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	now := time.Now()
+	var worst float64
+	for peer, f := range rs.byPeer {
+		if now.After(rs.expires[peer]) {
+			delete(rs.byPeer, peer)
+			delete(rs.expires, peer)
+			continue
+		}
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// SendReceptionReports multicasts one RTCP-style receiver report per
+// sender this client has received data from.  Call periodically (or
+// after image receptions) so senders can adapt their transmissions.
+func (c *Client) SendReceptionReports() error {
+	c.rtpMu.Lock()
+	type rep struct {
+		subject string
+		rr      rtp.ReceiverReport
+	}
+	reps := make([]rep, 0, len(c.rtpRecv))
+	for sender, recv := range c.rtpRecv {
+		reps = append(reps, rep{subject: sender, rr: recv.Report(fnv32(sender))})
+	}
+	c.rtpMu.Unlock()
+
+	for _, r := range reps {
+		m := &message.Message{
+			Kind:      message.KindControl,
+			Sender:    c.ID(),
+			Seq:       c.ctrlSeq.Add(1),
+			Timestamp: time.Now(),
+			Attrs: selector.Attributes{
+				attrCtrl:     selector.S(ctrlRTCPReport),
+				attrSubject:  selector.S(r.subject),
+				attrFracLost: selector.N(r.rr.FractionLost),
+				attrJitterMs: selector.N(float64(r.rr.Jitter)),
+			},
+		}
+		if err := c.multicast(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleRTCPReport records a reception report that concerns this
+// client's own streams.
+func (c *Client) handleRTCPReport(m *message.Message) bool {
+	ctrl, ok := m.Attr(attrCtrl)
+	if !ok || ctrl.Str() != ctrlRTCPReport {
+		return false
+	}
+	subject, ok := m.Attr(attrSubject)
+	if !ok || subject.Str() != c.ID() {
+		return true // a report about someone else: consumed, ignored
+	}
+	frac, ok := m.Attr(attrFracLost)
+	if !ok {
+		return true
+	}
+	f := frac.Num()
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	c.reports.record(m.Sender, f)
+	return true
+}
+
+// WorstPeerLoss returns the highest loss fraction any receiver has
+// recently reported for this client's data streams.
+func (c *Client) WorstPeerLoss() float64 { return c.reports.worst() }
+
+// observedJitter returns the mean RTP interarrival jitter across every
+// sender this client receives data from, in the arrival clock's units
+// (milliseconds here).  ok is false with no data streams.
+func (c *Client) observedJitter() (float64, bool) {
+	c.rtpMu.Lock()
+	defer c.rtpMu.Unlock()
+	if len(c.rtpRecv) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, r := range c.rtpRecv {
+		sum += r.Snapshot().Jitter
+	}
+	return sum / float64(len(c.rtpRecv)), true
+}
+
+// sendBudget resolves how many of total packets to actually transmit,
+// given receiver feedback.  With no reports (or SenderAdaptation off)
+// everything is sent.
+func (c *Client) sendBudget(total int) int {
+	if c.cfg.DisableSenderAdaptation {
+		return total
+	}
+	worst := c.reports.worst()
+	if worst <= 0 {
+		return total
+	}
+	budget := inference.PacketsFromLoss(worst, total)
+	if budget < 1 {
+		budget = 1 // always send at least the base layer
+	}
+	return budget
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"adaptiveqos/internal/hostagent"
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
+)
+
+// TestTrapDrivenAdaptation: a threshold trap from the host agent
+// reconfigures the client immediately, with no polling involved.
+func TestTrapDrivenAdaptation(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 41})
+	defer net.Close()
+	conn, _ := net.Attach("c")
+	c := NewClient(conn, Config{})
+	defer c.Close()
+
+	host := hostagent.NewHost("h")
+	host.Set(hostagent.ParamCPULoad, 40)
+	notifier := snmp.NewNotifier("traps")
+	notifier.AddSink(c) // the client is a TrapSink
+	alarms := hostagent.NewAlarms(host, notifier)
+	if err := alarms.Add(hostagent.Alarm{Param: hostagent.ParamCPULoad, Level: 90, Rising: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet: no trap, decision unconstrained.
+	if n, _ := alarms.Check(); n != 0 {
+		t.Fatal("unexpected trap")
+	}
+	if got := c.LastDecision().EffectiveBudget(16); got != 16 {
+		t.Fatalf("initial budget = %d", got)
+	}
+
+	// The host spikes; the alarm pushes a trap; the client adapts.
+	host.Set(hostagent.ParamCPULoad, 97)
+	if n, _ := alarms.Check(); n != 1 {
+		t.Fatal("alarm did not fire")
+	}
+	d := c.LastDecision()
+	if got := d.EffectiveBudget(16); got >= 16 {
+		t.Errorf("budget after trap = %d, want constrained", got)
+	}
+	if c.Viewer().Budget() != d.EffectiveBudget(16) {
+		t.Error("viewer budget not applied")
+	}
+	// The trapped value landed in the profile state.
+	snap := c.Profile().Snapshot()
+	if snap.State[hostagent.ParamCPULoad].Num() != 97 {
+		t.Errorf("profile state: %v", snap.State)
+	}
+}
+
+// TestTrapIgnoresGarbage: malformed and irrelevant traps are counted
+// as errors or ignored without changing the decision.
+func TestTrapIgnoresGarbage(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 42})
+	defer net.Close()
+	conn, _ := net.Attach("c")
+	c := NewClient(conn, Config{})
+	defer c.Close()
+
+	before := c.LastDecision()
+
+	c.Trap([]byte("not a trap"))
+	if c.Stats().DecodeErrors != 1 {
+		t.Errorf("garbage trap not counted: %+v", c.Stats())
+	}
+
+	// A GET message is not a trap.
+	frame, err := snmp.EncodeMessage(&snmp.Message{
+		Version: snmp.V2c,
+		PDU: snmp.PDU{Type: snmp.GetRequest, RequestID: 1,
+			VarBinds: []snmp.VarBind{{OID: snmp.MustOID("1.3.6"), Value: snmp.Null()}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Trap(frame)
+	if c.Stats().DecodeErrors != 2 {
+		t.Error("non-trap PDU not counted")
+	}
+
+	// A real trap about an unknown OID changes nothing.
+	frame, err = snmp.EncodeMessage(&snmp.Message{
+		Version: snmp.V2c,
+		PDU: snmp.PDU{Type: snmp.TrapV2, RequestID: 2,
+			VarBinds: []snmp.VarBind{{OID: snmp.MustOID("1.3.6.1.4.1.9.9.9.0"), Value: snmp.Gauge32(5)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Trap(frame)
+	if got := c.LastDecision(); got.EffectiveBudget(16) != before.EffectiveBudget(16) {
+		t.Error("irrelevant trap changed the decision")
+	}
+}

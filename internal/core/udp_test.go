@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/transport"
+	"adaptiveqos/internal/wavelet"
+)
+
+// TestEndToEndOverUDP runs the framework over real UDP sockets on
+// loopback: chat, semantic filtering and a full progressive image
+// share — the deployment configuration rather than the simulator.
+func TestEndToEndOverUDP(t *testing.T) {
+	tr := transport.NewUDPTransport()
+	ca, err := tr.Listen("alice", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := tr.Listen("bob", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := tr.Listen("carol", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewClient(ca, Config{})
+	b := NewClient(cb, Config{})
+	c := NewClient(cc, Config{})
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	b.Profile().SetInterest("team", selector.S("field"))
+	c.Profile().SetInterest("team", selector.S("hq"))
+
+	// Semantic filtering across real sockets.
+	if err := a.Say("field only", `team == "field"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Say("everyone", ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bob's lines", func() bool { return b.Chat().Len() == 2 })
+	waitFor(t, "carol filtered", func() bool {
+		return c.Chat().Len() == 1 && c.Stats().EventsFiltered == 1
+	})
+
+	// Full image share over UDP.
+	im := wavelet.Medical(64, 64, 8)
+	obj, err := media.EncodeImage(im, "udp scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ShareImage("udp-img", obj, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "image over UDP", func() bool {
+		st, err := b.Viewer().Stats("udp-img")
+		return err == nil && st.PacketsAccepted == 16
+	})
+	res, err := b.Viewer().Render("udp-img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lossless || !res.Image.Equal(im) {
+		t.Error("image over UDP loopback should be lossless")
+	}
+}

@@ -1,0 +1,111 @@
+package hostagent
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptiveqos/internal/snmp"
+)
+
+// ParamForOID maps an instrument OID (with or without the trailing .0
+// instance arc) back to its parameter name — the inverse of the MIB
+// registration, used by trap receivers.
+func ParamForOID(oid snmp.OID) (string, bool) {
+	trimmed := oid
+	if n := len(oid); n > 0 && oid[n-1] == 0 {
+		trimmed = oid[:n-1]
+	}
+	for _, inst := range instruments {
+		if inst.oid.Equal(trimmed) {
+			return inst.param, true
+		}
+	}
+	return "", false
+}
+
+// Alarm is one threshold watch on a host parameter.
+type Alarm struct {
+	// Param is the watched parameter name.
+	Param string
+	// Level is the threshold.
+	Level float64
+	// Rising fires when the value crosses upward through Level;
+	// otherwise it fires on a downward crossing.
+	Rising bool
+}
+
+// Alarms evaluates threshold alarms against a host and pushes SNMPv2
+// traps through a Notifier when a crossing occurs — the push half of
+// the instrumentation story, complementing the manager's polling.
+// Alarms are edge-triggered: a trap fires on the crossing, not on
+// every sample beyond the threshold.
+type Alarms struct {
+	host     *Host
+	notifier *snmp.Notifier
+
+	mu     sync.Mutex
+	alarms []Alarm
+	armed  []bool // true when the alarm may fire on its next crossing
+}
+
+// NewAlarms creates an alarm evaluator pushing traps via notifier.
+func NewAlarms(host *Host, notifier *snmp.Notifier) *Alarms {
+	return &Alarms{host: host, notifier: notifier}
+}
+
+// Add installs an alarm.  The alarm arms against the current value:
+// if the value is already beyond the threshold no trap fires until the
+// value returns and crosses again.
+func (a *Alarms) Add(alarm Alarm) error {
+	if _, ok := paramOID(alarm.Param); !ok {
+		return fmt.Errorf("hostagent: unknown alarm parameter %q", alarm.Param)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.host.Get(alarm.Param)
+	a.alarms = append(a.alarms, alarm)
+	a.armed = append(a.armed, !beyond(alarm, cur))
+	return nil
+}
+
+func beyond(al Alarm, v float64) bool {
+	if al.Rising {
+		return v >= al.Level
+	}
+	return v <= al.Level
+}
+
+// Check evaluates every alarm against the host's current values and
+// fires traps for new crossings.  It returns the number of traps sent.
+func (a *Alarms) Check() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fired := 0
+	for i, al := range a.alarms {
+		v := a.host.Get(al.Param)
+		over := beyond(al, v)
+		switch {
+		case over && a.armed[i]:
+			a.armed[i] = false
+			oid, _ := paramOID(al.Param)
+			vbs := []snmp.VarBind{{OID: oid.Append(0), Value: snmp.Gauge32(uint32(clamp32(v)))}}
+			if err := a.notifier.Notify(vbs); err != nil {
+				return fired, err
+			}
+			fired++
+		case !over && !a.armed[i]:
+			a.armed[i] = true // re-arm once the value retreats
+		}
+	}
+	return fired, nil
+}
+
+func clamp32(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 4294967295 {
+		return 4294967295
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package hostagent
+
+import (
+	"testing"
+
+	"adaptiveqos/internal/snmp"
+)
+
+type captureSink struct{ frames [][]byte }
+
+func (s *captureSink) Trap(frame []byte) { s.frames = append(s.frames, frame) }
+
+func TestParamForOID(t *testing.T) {
+	if p, ok := ParamForOID(OIDCPULoad); !ok || p != ParamCPULoad {
+		t.Errorf("bare OID: %q %v", p, ok)
+	}
+	if p, ok := ParamForOID(OIDCPULoad.Append(0)); !ok || p != ParamCPULoad {
+		t.Errorf("instanced OID: %q %v", p, ok)
+	}
+	if _, ok := ParamForOID(snmp.MustOID("1.3.6.1.2.1.1.1.0")); ok {
+		t.Error("sysDescr should not map to a parameter")
+	}
+}
+
+func TestAlarmsEdgeTriggered(t *testing.T) {
+	host := NewHost("h")
+	host.Set(ParamCPULoad, 50)
+	sink := &captureSink{}
+	notifier := snmp.NewNotifier("traps")
+	notifier.AddSink(sink)
+	alarms := NewAlarms(host, notifier)
+
+	if err := alarms.Add(Alarm{Param: ParamCPULoad, Level: 90, Rising: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alarms.Add(Alarm{Param: "bogus", Level: 1, Rising: true}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+
+	// Below threshold: nothing fires.
+	if n, err := alarms.Check(); err != nil || n != 0 {
+		t.Fatalf("below threshold: %d, %v", n, err)
+	}
+
+	// Crossing fires exactly once.
+	host.Set(ParamCPULoad, 95)
+	if n, _ := alarms.Check(); n != 1 {
+		t.Fatalf("crossing fired %d traps", n)
+	}
+	if n, _ := alarms.Check(); n != 0 {
+		t.Fatal("repeated check re-fired without re-arming")
+	}
+	// Retreat re-arms, next crossing fires again.
+	host.Set(ParamCPULoad, 40)
+	alarms.Check()
+	host.Set(ParamCPULoad, 99)
+	if n, _ := alarms.Check(); n != 1 {
+		t.Fatal("re-armed alarm did not fire")
+	}
+
+	// The trap carries the instrument OID and value.
+	msg, err := snmp.DecodeMessage(sink.frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.PDU.Type != snmp.TrapV2 {
+		t.Errorf("trap type: %v", msg.PDU.Type)
+	}
+	param, ok := ParamForOID(msg.PDU.VarBinds[0].OID)
+	if !ok || param != ParamCPULoad {
+		t.Errorf("trap OID: %v", msg.PDU.VarBinds[0].OID)
+	}
+	if msg.PDU.VarBinds[0].Value.Uint != 95 {
+		t.Errorf("trap value: %v", msg.PDU.VarBinds[0].Value)
+	}
+}
+
+func TestAlarmsArmAgainstCurrentValue(t *testing.T) {
+	host := NewHost("h")
+	host.Set(ParamPageFaults, 150) // already over
+	notifier := snmp.NewNotifier("t")
+	sink := &captureSink{}
+	notifier.AddSink(sink)
+	alarms := NewAlarms(host, notifier)
+	alarms.Add(Alarm{Param: ParamPageFaults, Level: 100, Rising: true})
+
+	if n, _ := alarms.Check(); n != 0 {
+		t.Fatal("pre-existing condition fired a trap")
+	}
+	host.Set(ParamPageFaults, 50)
+	alarms.Check() // re-arm
+	host.Set(ParamPageFaults, 120)
+	if n, _ := alarms.Check(); n != 1 {
+		t.Fatal("crossing after re-arm did not fire")
+	}
+}
+
+func TestFallingAlarm(t *testing.T) {
+	host := NewHost("h")
+	host.Set(ParamBandwidth, 1e6)
+	notifier := snmp.NewNotifier("t")
+	sink := &captureSink{}
+	notifier.AddSink(sink)
+	alarms := NewAlarms(host, notifier)
+	alarms.Add(Alarm{Param: ParamBandwidth, Level: 64_000, Rising: false})
+
+	host.Set(ParamBandwidth, 32_000)
+	if n, _ := alarms.Check(); n != 1 {
+		t.Fatal("falling crossing did not fire")
+	}
+}

@@ -1,0 +1,154 @@
+package hostagent
+
+import (
+	"fmt"
+
+	"adaptiveqos/internal/snmp"
+)
+
+// Network elements (routers, switches) come with standard agents: the
+// management station queries their interface table for bandwidth and
+// traffic counters.  ElementAgent serves a MIB-2-style interfaces
+// group whose counters are read live from a provider function, so a
+// simulated switch can expose the traffic actually crossing the
+// simulated network.
+
+// Standard interfaces-group OIDs (MIB-2, RFC 1213 subset).
+var (
+	// OIDIfNumber is the interface count scalar.
+	OIDIfNumber = snmp.MustOID("1.3.6.1.2.1.2.1")
+	// OIDIfTable is the interface table; columns are indexed
+	// ifEntry.column.row.
+	oidIfEntry = snmp.MustOID("1.3.6.1.2.1.2.2.1")
+)
+
+// ifEntry columns served by the element agent.
+const (
+	colIfIndex     = 1
+	colIfDescr     = 2
+	colIfSpeed     = 5
+	colIfInOctets  = 10
+	colIfInErrors  = 14
+	colIfOutOctets = 16
+)
+
+// IfEntry is one interface row: a snapshot of its configuration and
+// counters.
+type IfEntry struct {
+	// Index is the 1-based interface index.
+	Index int
+	// Descr names the interface ("eth0", "node:alice").
+	Descr string
+	// SpeedBps is the configured bandwidth in bit/s.
+	SpeedBps uint64
+	// InOctets and OutOctets are cumulative byte counters.
+	InOctets, OutOctets uint64
+	// InErrors counts inbound drops/errors.
+	InErrors uint64
+}
+
+// IfProvider returns the current interface rows.  The row set (count
+// and order) must be stable across calls; counters may change freely.
+type IfProvider func() []IfEntry
+
+// NewElementAgent builds an SNMP agent serving sysDescr plus the
+// interfaces group for the rows the provider reports at creation time.
+func NewElementAgent(name string, provider IfProvider) (*snmp.Agent, error) {
+	rows := provider()
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("hostagent: element %q has no interfaces", name)
+	}
+	mib := snmp.NewMIB()
+	if err := mib.RegisterScalar(OIDSysDescr, func() snmp.Value {
+		return snmp.String8("adaptiveqos simulated element " + name)
+	}); err != nil {
+		return nil, err
+	}
+	if err := mib.RegisterScalar(OIDIfNumber, func() snmp.Value {
+		return snmp.Integer(int64(len(provider())))
+	}); err != nil {
+		return nil, err
+	}
+
+	// row lookup by position; the provider's order is its identity.
+	rowAt := func(i int) (IfEntry, bool) {
+		cur := provider()
+		if i < 0 || i >= len(cur) {
+			return IfEntry{}, false
+		}
+		return cur[i], true
+	}
+	for i, row := range rows {
+		i := i
+		idx := uint32(row.Index)
+		register := func(col uint32, get func(IfEntry) snmp.Value) error {
+			return mib.Register(oidIfEntry.Append(col, idx), snmp.Object{
+				Get: func() snmp.Value {
+					r, ok := rowAt(i)
+					if !ok {
+						return snmp.Null()
+					}
+					return get(r)
+				},
+			})
+		}
+		if err := register(colIfIndex, func(r IfEntry) snmp.Value {
+			return snmp.Integer(int64(r.Index))
+		}); err != nil {
+			return nil, err
+		}
+		if err := register(colIfDescr, func(r IfEntry) snmp.Value {
+			return snmp.String8(r.Descr)
+		}); err != nil {
+			return nil, err
+		}
+		if err := register(colIfSpeed, func(r IfEntry) snmp.Value {
+			return snmp.Gauge32(clampU32(r.SpeedBps))
+		}); err != nil {
+			return nil, err
+		}
+		if err := register(colIfInOctets, func(r IfEntry) snmp.Value {
+			return snmp.Counter32(clampU32(r.InOctets))
+		}); err != nil {
+			return nil, err
+		}
+		if err := register(colIfInErrors, func(r IfEntry) snmp.Value {
+			return snmp.Counter32(clampU32(r.InErrors))
+		}); err != nil {
+			return nil, err
+		}
+		if err := register(colIfOutOctets, func(r IfEntry) snmp.Value {
+			return snmp.Counter32(clampU32(r.OutOctets))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return snmp.NewAgent(mib), nil
+}
+
+func clampU32(v uint64) uint32 {
+	if v > 0xFFFFFFFF {
+		return 0xFFFFFFFF // counters wrap in real agents; we saturate
+	}
+	return uint32(v)
+}
+
+// IfOID returns the instance OID for a column of interface index
+// (e.g. IfOID(colIfInOctets, 1)); exported helpers cover the columns
+// managers need.
+func ifOID(col, index uint32) snmp.OID { return oidIfEntry.Append(col, index) }
+
+// OIDIfInOctets returns ifInOctets.{index}.
+func OIDIfInOctets(index int) snmp.OID { return ifOID(colIfInOctets, uint32(index)) }
+
+// OIDIfOutOctets returns ifOutOctets.{index}.
+func OIDIfOutOctets(index int) snmp.OID { return ifOID(colIfOutOctets, uint32(index)) }
+
+// OIDIfSpeed returns ifSpeed.{index}.
+func OIDIfSpeed(index int) snmp.OID { return ifOID(colIfSpeed, uint32(index)) }
+
+// OIDIfDescr returns ifDescr.{index}.
+func OIDIfDescr(index int) snmp.OID { return ifOID(colIfDescr, uint32(index)) }
+
+// OIDIfInErrors returns ifInErrors.{index}.
+func OIDIfInErrors(index int) snmp.OID { return ifOID(colIfInErrors, uint32(index)) }

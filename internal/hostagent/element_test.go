@@ -1,0 +1,128 @@
+package hostagent
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
+)
+
+func TestElementAgentServesIfTable(t *testing.T) {
+	var inOctets atomic.Uint64
+	provider := func() []IfEntry {
+		return []IfEntry{
+			{Index: 1, Descr: "uplink", SpeedBps: 100_000_000, InOctets: inOctets.Load()},
+			{Index: 2, Descr: "lan", SpeedBps: 1_000_000_000, OutOctets: 777},
+		}
+	}
+	agent, err := NewElementAgent("switch-1", provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "public")
+
+	n, err := client.GetNumber(OIDIfNumber.Append(0))
+	if err != nil || n != 2 {
+		t.Errorf("ifNumber = %g, %v", n, err)
+	}
+
+	// Live counters: the provider's state shows through.
+	inOctets.Store(1234)
+	v, err := client.GetNumber(OIDIfInOctets(1))
+	if err != nil || v != 1234 {
+		t.Errorf("ifInOctets.1 = %g, %v", v, err)
+	}
+	inOctets.Store(99_999)
+	v, _ = client.GetNumber(OIDIfInOctets(1))
+	if v != 99_999 {
+		t.Errorf("counter did not advance: %g", v)
+	}
+
+	d, err := client.GetOne(OIDIfDescr(2))
+	if err != nil || string(d.Bytes) != "lan" {
+		t.Errorf("ifDescr.2 = %v, %v", d, err)
+	}
+	v, _ = client.GetNumber(OIDIfSpeed(1))
+	if v != 100_000_000 {
+		t.Errorf("ifSpeed.1 = %g", v)
+	}
+	v, _ = client.GetNumber(OIDIfOutOctets(2))
+	if v != 777 {
+		t.Errorf("ifOutOctets.2 = %g", v)
+	}
+
+	// Walking the interfaces subtree visits every registered instance:
+	// 1 ifNumber + 6 columns × 2 rows.
+	var walked []string
+	if err := client.Walk(snmp.MustOID("1.3.6.1.2.1.2"), func(vb snmp.VarBind) bool {
+		walked = append(walked, vb.OID.String())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != 1+6*2 {
+		t.Errorf("walk visited %d instances: %v", len(walked), walked)
+	}
+
+	// Counter saturation at 2^32-1.
+	inOctets.Store(1 << 40)
+	v, _ = client.GetNumber(OIDIfInOctets(1))
+	if v != 4294967295 {
+		t.Errorf("saturated counter = %g", v)
+	}
+
+	if _, err := NewElementAgent("empty", func() []IfEntry { return nil }); err == nil {
+		t.Error("element with no interfaces accepted")
+	}
+}
+
+// TestElementAgentOverSimNet wires the element agent to live SimNet
+// statistics: the management station observes the bytes the simulated
+// network actually carried.
+func TestElementAgentOverSimNet(t *testing.T) {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 81})
+	defer net.Close()
+	a, _ := net.Attach("alice")
+	net.Attach("bob")
+
+	provider := func() []IfEntry {
+		sa := net.Stats("alice")
+		sb := net.Stats("bob")
+		return []IfEntry{
+			{Index: 1, Descr: "node:alice", SpeedBps: 10_000_000,
+				InOctets: sa.Bytes, OutOctets: uint64(sa.Sent), InErrors: sa.Dropped},
+			{Index: 2, Descr: "node:bob", SpeedBps: 10_000_000,
+				InOctets: sb.Bytes, OutOctets: uint64(sb.Sent), InErrors: sb.Dropped},
+		}
+	}
+	agent, err := NewElementAgent("simnet", provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "")
+
+	before, _ := client.GetNumber(OIDIfInOctets(2))
+	payload := make([]byte, 500)
+	for i := 0; i < 4; i++ {
+		if err := a.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	after, err := client.GetNumber(OIDIfInOctets(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 2000 {
+		t.Errorf("bob's ifInOctets moved %g, want 2000", after-before)
+	}
+
+	// sysDescr names the element.
+	d, _ := client.GetOne(OIDSysDescr.Append(0))
+	if !strings.Contains(string(d.Bytes), "simnet") {
+		t.Errorf("sysDescr = %q", d.Bytes)
+	}
+}

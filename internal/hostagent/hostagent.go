@@ -1,0 +1,313 @@
+// Package hostagent implements the specialized embedded extension
+// agent that runs on each monitored host, serviced by instrumentation
+// routines, plus the synthetic workload generator that stands in for
+// the paper's Windows NT performance counters.
+//
+// The paper's testbed read CPU load and page faults from live NT
+// workstations; this reproduction drives the same SNMP MIB variables
+// from configurable schedules (ramps, traces, noise), so the
+// experiments sweep exactly the ranges the paper sweeps (page faults
+// 30→100, CPU load 30→100 %) while remaining deterministic.
+package hostagent
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"adaptiveqos/internal/snmp"
+)
+
+// The private enterprise arc used by the embedded extension agent.
+// (1.3.6.1.4.1.54321 — a placeholder enterprise number for the
+// reproduction; the paper does not name one.)
+var (
+	oidEnterprise = snmp.MustOID("1.3.6.1.4.1.54321")
+
+	// OIDCPULoad is the host CPU load in percent (Gauge32).
+	OIDCPULoad = oidEnterprise.Append(1, 1)
+	// OIDPageFaults is the recent page-fault rate in faults/s (Gauge32).
+	OIDPageFaults = oidEnterprise.Append(1, 2)
+	// OIDFreeMemory is free memory in KiB (Gauge32).
+	OIDFreeMemory = oidEnterprise.Append(1, 3)
+	// OIDBandwidth is available network bandwidth in bit/s (Gauge32).
+	OIDBandwidth = oidEnterprise.Append(1, 4)
+	// OIDLatencyMicros is measured path latency in µs (Gauge32).
+	OIDLatencyMicros = oidEnterprise.Append(1, 5)
+	// OIDJitterMicros is measured path jitter in µs (Gauge32).
+	OIDJitterMicros = oidEnterprise.Append(1, 6)
+	// OIDSignalStrength is wireless signal strength in dB ×10 (Integer,
+	// may be negative).
+	OIDSignalStrength = oidEnterprise.Append(1, 7)
+
+	// OIDSysDescr and OIDSysUpTime are the standard MIB-2 system group
+	// objects the agent also answers.
+	OIDSysDescr  = snmp.MustOID("1.3.6.1.2.1.1.1")
+	OIDSysUpTime = snmp.MustOID("1.3.6.1.2.1.1.3")
+)
+
+// Parameter names used by schedules and the framework's state space.
+const (
+	ParamCPULoad    = "cpu-load"
+	ParamPageFaults = "page-faults"
+	ParamFreeMem    = "free-memory"
+	ParamBandwidth  = "bandwidth"
+	ParamLatency    = "latency"
+	ParamJitter     = "jitter"
+	ParamSignal     = "signal"
+)
+
+// instrument maps parameter names to MIB instances.
+var instruments = []struct {
+	param string
+	oid   snmp.OID
+	kind  func(float64) snmp.Value
+}{
+	{ParamCPULoad, OIDCPULoad, gauge},
+	{ParamPageFaults, OIDPageFaults, gauge},
+	{ParamFreeMem, OIDFreeMemory, gauge},
+	{ParamBandwidth, OIDBandwidth, gauge},
+	{ParamLatency, OIDLatencyMicros, gauge},
+	{ParamJitter, OIDJitterMicros, gauge},
+	{ParamSignal, OIDSignalStrength, func(v float64) snmp.Value {
+		return snmp.Integer(int64(math.Round(v * 10)))
+	}},
+}
+
+func gauge(v float64) snmp.Value {
+	if v < 0 {
+		v = 0
+	}
+	if v > math.MaxUint32 {
+		v = math.MaxUint32
+	}
+	return snmp.Gauge32(uint32(math.Round(v)))
+}
+
+// Schedule produces a parameter value for each workload step.
+type Schedule interface {
+	// At returns the value at step (0-based).
+	At(step int) float64
+}
+
+// Constant is a flat schedule.
+type Constant float64
+
+// At implements Schedule.
+func (c Constant) At(int) float64 { return float64(c) }
+
+// Ramp linearly interpolates From→To over Steps steps, then holds To.
+type Ramp struct {
+	From, To float64
+	Steps    int
+}
+
+// At implements Schedule.
+func (r Ramp) At(step int) float64 {
+	if r.Steps <= 1 || step >= r.Steps-1 {
+		return r.To
+	}
+	if step <= 0 {
+		return r.From
+	}
+	f := float64(step) / float64(r.Steps-1)
+	return r.From + (r.To-r.From)*f
+}
+
+// Trace replays an explicit value sequence, holding the last value.
+type Trace []float64
+
+// At implements Schedule.
+func (tr Trace) At(step int) float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	if step >= len(tr) {
+		return tr[len(tr)-1]
+	}
+	if step < 0 {
+		return tr[0]
+	}
+	return tr[step]
+}
+
+// Noisy perturbs a base schedule with deterministic uniform noise in
+// [-Amplitude, +Amplitude].
+type Noisy struct {
+	Base      Schedule
+	Amplitude float64
+	Seed      int64
+}
+
+// At implements Schedule.
+func (n Noisy) At(step int) float64 {
+	r := rand.New(rand.NewSource(n.Seed + int64(step)))
+	return n.Base.At(step) + (2*r.Float64()-1)*n.Amplitude
+}
+
+// Sawtooth cycles From→To over Period steps, repeating.
+type Sawtooth struct {
+	From, To float64
+	Period   int
+}
+
+// At implements Schedule.
+func (s Sawtooth) At(step int) float64 {
+	if s.Period <= 1 {
+		return s.To
+	}
+	pos := step % s.Period
+	f := float64(pos) / float64(s.Period-1)
+	return s.From + (s.To-s.From)*f
+}
+
+// Host is a simulated monitored host: a set of named parameters driven
+// by schedules, exposed through SNMP instrumentation routines.  It is
+// safe for concurrent use (the SNMP agent reads while the experiment
+// driver steps the workload).
+type Host struct {
+	Name string
+
+	mu        sync.RWMutex
+	step      int
+	ticks     uint32
+	values    map[string]float64
+	schedules map[string]Schedule
+}
+
+// NewHost creates a host with every parameter at zero.
+func NewHost(name string) *Host {
+	return &Host{
+		Name:      name,
+		values:    make(map[string]float64),
+		schedules: make(map[string]Schedule),
+	}
+}
+
+// SetSchedule attaches a schedule to a parameter and applies its step-0
+// value immediately.
+func (h *Host) SetSchedule(param string, s Schedule) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.schedules[param] = s
+	h.values[param] = s.At(h.step)
+}
+
+// Set forces a parameter to a fixed value (clearing any schedule).
+func (h *Host) Set(param string, v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.schedules, param)
+	h.values[param] = v
+}
+
+// Get returns the current value of a parameter.
+func (h *Host) Get(param string) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.values[param]
+}
+
+// Step advances the workload one step, re-evaluating every schedule.
+// It returns the new step index.
+func (h *Host) Step() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.step++
+	h.ticks += 100 // pretend each step is one second of uptime
+	for param, s := range h.schedules {
+		h.values[param] = s.At(h.step)
+	}
+	return h.step
+}
+
+// StepN advances n steps.
+func (h *Host) StepN(n int) {
+	for i := 0; i < n; i++ {
+		h.Step()
+	}
+}
+
+// CurrentStep returns the current step index.
+func (h *Host) CurrentStep() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.step
+}
+
+// NewAgent builds an SNMP agent whose MIB is instrumented from the
+// host's parameters — the embedded extension agent.
+func NewAgent(h *Host) *snmp.Agent {
+	mib := snmp.NewMIB()
+	register := func(oid snmp.OID, get func() snmp.Value) {
+		if err := mib.RegisterScalar(oid, get); err != nil {
+			// Registration of the static instrument table cannot fail
+			// unless the table itself is broken; make that loud.
+			panic(fmt.Sprintf("hostagent: %v", err))
+		}
+	}
+	register(OIDSysDescr, func() snmp.Value {
+		return snmp.String8("adaptiveqos simulated host " + h.Name)
+	})
+	register(OIDSysUpTime, func() snmp.Value {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		return snmp.TimeTicks(h.ticks)
+	})
+	for _, inst := range instruments {
+		inst := inst
+		register(inst.oid, func() snmp.Value {
+			return inst.kind(h.Get(inst.param))
+		})
+	}
+	return snmp.NewAgent(mib)
+}
+
+// Monitor polls a host's agent through an SNMP client and exposes the
+// sampled parameters as plain numbers — the manager-side half of the
+// network state interface.
+type Monitor struct {
+	Client *snmp.Client
+}
+
+// Sample fetches the named parameters in one GET.  Unknown names are
+// an error; the caller controls the parameter set.
+func (m *Monitor) Sample(params ...string) (map[string]float64, error) {
+	oids := make([]snmp.OID, len(params))
+	for i, p := range params {
+		oid, ok := paramOID(p)
+		if !ok {
+			return nil, fmt.Errorf("hostagent: unknown parameter %q", p)
+		}
+		oids[i] = oid.Append(0)
+	}
+	vbs, err := m.Client.Get(oids...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(params))
+	for i, vb := range vbs {
+		if vb.Value.IsException() {
+			return nil, fmt.Errorf("hostagent: %s: %s", params[i], vb.Value.Type)
+		}
+		n, ok := vb.Value.Number()
+		if !ok {
+			return nil, fmt.Errorf("hostagent: %s has non-numeric value", params[i])
+		}
+		if params[i] == ParamSignal {
+			n /= 10 // stored as dB ×10
+		}
+		out[params[i]] = n
+	}
+	return out, nil
+}
+
+func paramOID(p string) (snmp.OID, bool) {
+	for _, inst := range instruments {
+		if inst.param == p {
+			return inst.oid, true
+		}
+	}
+	return nil, false
+}

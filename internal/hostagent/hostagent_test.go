@@ -1,0 +1,221 @@
+package hostagent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adaptiveqos/internal/snmp"
+)
+
+func TestSchedules(t *testing.T) {
+	if Constant(42).At(0) != 42 || Constant(42).At(100) != 42 {
+		t.Error("Constant")
+	}
+
+	r := Ramp{From: 30, To: 100, Steps: 8}
+	if r.At(0) != 30 {
+		t.Errorf("ramp start = %g", r.At(0))
+	}
+	if r.At(7) != 100 || r.At(100) != 100 {
+		t.Errorf("ramp end = %g / %g", r.At(7), r.At(100))
+	}
+	mid := r.At(3)
+	if mid <= 30 || mid >= 100 {
+		t.Errorf("ramp mid = %g", mid)
+	}
+	for s := 1; s < 8; s++ {
+		if r.At(s) < r.At(s-1) {
+			t.Errorf("ramp not monotone at %d", s)
+		}
+	}
+	if (Ramp{From: 1, To: 2, Steps: 1}).At(0) != 2 {
+		t.Error("degenerate ramp should hold To")
+	}
+
+	tr := Trace{10, 20, 30}
+	if tr.At(-1) != 10 || tr.At(0) != 10 || tr.At(2) != 30 || tr.At(99) != 30 {
+		t.Error("Trace")
+	}
+	if (Trace{}).At(5) != 0 {
+		t.Error("empty Trace")
+	}
+
+	n := Noisy{Base: Constant(50), Amplitude: 5, Seed: 7}
+	for s := 0; s < 50; s++ {
+		v := n.At(s)
+		if v < 45 || v > 55 {
+			t.Errorf("noisy out of band at %d: %g", s, v)
+		}
+		if n.At(s) != v {
+			t.Error("Noisy must be deterministic per step")
+		}
+	}
+
+	sw := Sawtooth{From: 0, To: 10, Period: 5}
+	if sw.At(0) != 0 || sw.At(4) != 10 || sw.At(5) != 0 {
+		t.Errorf("sawtooth: %g %g %g", sw.At(0), sw.At(4), sw.At(5))
+	}
+	if (Sawtooth{From: 1, To: 9, Period: 1}).At(3) != 9 {
+		t.Error("degenerate sawtooth")
+	}
+}
+
+func TestHostStepAndSchedules(t *testing.T) {
+	h := NewHost("wired-1")
+	h.SetSchedule(ParamPageFaults, Ramp{From: 30, To: 100, Steps: 5})
+	h.SetSchedule(ParamCPULoad, Constant(40))
+	h.Set(ParamBandwidth, 1e6)
+
+	if got := h.Get(ParamPageFaults); got != 30 {
+		t.Errorf("step-0 page faults = %g", got)
+	}
+	h.Step()
+	if h.CurrentStep() != 1 {
+		t.Error("step index")
+	}
+	if got := h.Get(ParamPageFaults); got <= 30 {
+		t.Errorf("page faults after step = %g", got)
+	}
+	if h.Get(ParamCPULoad) != 40 {
+		t.Error("constant schedule changed")
+	}
+	if h.Get(ParamBandwidth) != 1e6 {
+		t.Error("fixed value changed")
+	}
+	h.StepN(10)
+	if got := h.Get(ParamPageFaults); got != 100 {
+		t.Errorf("page faults at end = %g", got)
+	}
+	// Set clears a schedule.
+	h.Set(ParamPageFaults, 55)
+	h.Step()
+	if h.Get(ParamPageFaults) != 55 {
+		t.Error("Set did not clear schedule")
+	}
+}
+
+func TestAgentServesInstrumentation(t *testing.T) {
+	h := NewHost("h1")
+	h.Set(ParamCPULoad, 72.4)
+	h.Set(ParamPageFaults, 88)
+	h.Set(ParamSignal, -7.5)
+	agent := NewAgent(h)
+	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "public")
+
+	v, err := client.GetNumber(OIDCPULoad.Append(0))
+	if err != nil || v != 72 { // gauge rounds
+		t.Errorf("cpu = %g, %v", v, err)
+	}
+	v, err = client.GetNumber(OIDPageFaults.Append(0))
+	if err != nil || v != 88 {
+		t.Errorf("page faults = %g, %v", v, err)
+	}
+	// Signal is Integer dB ×10, may be negative.
+	v, err = client.GetNumber(OIDSignalStrength.Append(0))
+	if err != nil || v != -75 {
+		t.Errorf("signal = %g, %v", v, err)
+	}
+
+	// sysDescr/sysUpTime respond.
+	sd, err := client.GetOne(OIDSysDescr.Append(0))
+	if err != nil || len(sd.Bytes) == 0 {
+		t.Errorf("sysDescr: %v %v", sd, err)
+	}
+	h.Step()
+	up, err := client.GetOne(OIDSysUpTime.Append(0))
+	if err != nil || up.Uint != 100 {
+		t.Errorf("sysUpTime: %v %v", up, err)
+	}
+
+	// A full walk covers the registered instruments + 2 system objects.
+	var count int
+	if err := client.Walk(snmp.MustOID("1.3.6.1"), func(snmp.VarBind) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(instruments)+2 {
+		t.Errorf("walk visited %d, want %d", count, len(instruments)+2)
+	}
+}
+
+func TestGaugeClamping(t *testing.T) {
+	h := NewHost("h")
+	h.Set(ParamCPULoad, -5)
+	h.Set(ParamBandwidth, 1e12)
+	agent := NewAgent(h)
+	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "")
+
+	v, err := client.GetNumber(OIDCPULoad.Append(0))
+	if err != nil || v != 0 {
+		t.Errorf("negative gauge = %g", v)
+	}
+	v, err = client.GetNumber(OIDBandwidth.Append(0))
+	if err != nil || v != math.MaxUint32 {
+		t.Errorf("overflow gauge = %g", v)
+	}
+}
+
+func TestMonitorSample(t *testing.T) {
+	h := NewHost("h")
+	h.Set(ParamCPULoad, 60)
+	h.Set(ParamPageFaults, 45)
+	h.Set(ParamSignal, -3.2)
+	m := &Monitor{Client: snmp.NewClient(&snmp.AgentRoundTripper{Agent: NewAgent(h)}, snmp.V2c, "")}
+
+	got, err := m.Sample(ParamCPULoad, ParamPageFaults, ParamSignal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[ParamCPULoad] != 60 || got[ParamPageFaults] != 45 {
+		t.Errorf("sample: %v", got)
+	}
+	if got[ParamSignal] != -3.2 {
+		t.Errorf("signal rescale: %g", got[ParamSignal])
+	}
+
+	if _, err := m.Sample("no-such-param"); err == nil {
+		t.Error("unknown parameter should fail")
+	}
+}
+
+// TestQuickRampMonotone: ramps are monotone between their endpoints
+// for arbitrary parameters.
+func TestQuickRampMonotone(t *testing.T) {
+	f := func(from, to float64, steps int) bool {
+		if math.IsNaN(from) || math.IsNaN(to) || math.IsInf(from, 0) || math.IsInf(to, 0) {
+			return true
+		}
+		// Constrain to the schedule's realistic domain (loads, rates,
+		// byte counts); astronomically large magnitudes overflow the
+		// interpolation arithmetic and are not meaningful workloads.
+		from = math.Mod(from, 1e9)
+		to = math.Mod(to, 1e9)
+		steps = steps%100 + 2
+		if steps < 2 {
+			steps = 2
+		}
+		r := Ramp{From: from, To: to, Steps: steps}
+		up := to >= from
+		prev := r.At(0)
+		if prev != from {
+			return false
+		}
+		for s := 1; s < steps; s++ {
+			cur := r.At(s)
+			if up && cur < prev-1e-9 {
+				return false
+			}
+			if !up && cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return r.At(steps-1) == to
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

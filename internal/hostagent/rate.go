@@ -1,0 +1,57 @@
+package hostagent
+
+import (
+	"fmt"
+	"time"
+
+	"adaptiveqos/internal/snmp"
+)
+
+// RateSampler derives a bit-rate from a cumulative SNMP octet counter
+// by differentiating successive polls — how a management station turns
+// ifInOctets into bandwidth-in-use.
+type RateSampler struct {
+	// Client queries the element.
+	Client *snmp.Client
+	// OID is the counter instance (e.g. OIDIfInOctets(1)).
+	OID snmp.OID
+
+	// now allows tests to control time; nil means time.Now.
+	now func() time.Time
+
+	started   bool
+	lastValue float64
+	lastAt    time.Time
+}
+
+// SampleBps polls the counter and returns the average rate in bits/s
+// since the previous call.  The first call primes the sampler and
+// reports ok=false.  A counter that moved backwards (agent restart or
+// 32-bit wrap) re-primes rather than reporting a negative rate.
+func (r *RateSampler) SampleBps() (bps float64, ok bool, err error) {
+	clock := r.now
+	if clock == nil {
+		clock = time.Now
+	}
+	v, err := r.Client.GetNumber(r.OID)
+	if err != nil {
+		return 0, false, fmt.Errorf("hostagent: rate sample: %w", err)
+	}
+	now := clock()
+	defer func() {
+		r.lastValue = v
+		r.lastAt = now
+		r.started = true
+	}()
+	if !r.started {
+		return 0, false, nil
+	}
+	dt := now.Sub(r.lastAt).Seconds()
+	if dt <= 0 {
+		return 0, false, nil
+	}
+	if v < r.lastValue {
+		return 0, false, nil // wrap or restart: re-prime
+	}
+	return (v - r.lastValue) * 8 / dt, true, nil
+}

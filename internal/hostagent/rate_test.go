@@ -1,0 +1,70 @@
+package hostagent
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/snmp"
+)
+
+func TestRateSampler(t *testing.T) {
+	var octets atomic.Uint64
+	agent, err := NewElementAgent("e", func() []IfEntry {
+		return []IfEntry{{Index: 1, Descr: "if", SpeedBps: 1e6, InOctets: octets.Load()}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "")
+
+	fake := time.Unix(1000, 0)
+	s := &RateSampler{
+		Client: client,
+		OID:    OIDIfInOctets(1),
+		now:    func() time.Time { return fake },
+	}
+
+	// First call primes.
+	if _, ok, err := s.SampleBps(); err != nil || ok {
+		t.Fatalf("prime: ok=%v err=%v", ok, err)
+	}
+
+	// 1000 bytes over 2 seconds = 4000 bit/s.
+	octets.Add(1000)
+	fake = fake.Add(2 * time.Second)
+	bps, ok, err := s.SampleBps()
+	if err != nil || !ok {
+		t.Fatalf("sample: ok=%v err=%v", ok, err)
+	}
+	if bps != 4000 {
+		t.Errorf("bps = %g, want 4000", bps)
+	}
+
+	// Zero elapsed time: not a valid sample.
+	if _, ok, _ := s.SampleBps(); ok {
+		t.Error("zero-dt sample reported ok")
+	}
+
+	// Counter restart (moves backwards): re-prime, no negative rate.
+	octets.Store(10)
+	fake = fake.Add(time.Second)
+	if _, ok, _ := s.SampleBps(); ok {
+		t.Error("backwards counter reported ok")
+	}
+	octets.Store(510) // 500 bytes over 1s = 4000 bps again
+	fake = fake.Add(time.Second)
+	bps, ok, _ = s.SampleBps()
+	if !ok || bps != 4000 {
+		t.Errorf("post-restart bps = %g ok=%v", bps, ok)
+	}
+
+	// Transport errors surface.
+	bad := &RateSampler{
+		Client: snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent, Drop: func() bool { return true }}, snmp.V2c, ""),
+		OID:    OIDIfInOctets(1),
+	}
+	if _, _, err := bad.SampleBps(); err == nil {
+		t.Error("dropped sample should error")
+	}
+}

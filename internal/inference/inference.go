@@ -1,0 +1,305 @@
+// Package inference implements the inference engine: a policy database
+// that combines the client profile (interests, preferences,
+// capabilities), the QoS contract, and the current system/network
+// state into concrete adaptation decisions — how many image packets to
+// accept, which resolution threshold to apply, and which modality to
+// deliver.
+//
+// Policies are rules: a semantic-selector condition over the state
+// attributes plus an action that refines the decision.  Rules fire in
+// priority order; actions compose by tightening (a later rule can
+// lower the packet budget but the engine keeps the minimum, so the
+// most constrained resource governs — the paper's behaviour where
+// either page faults or CPU load can throttle the image viewer).
+package inference
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/selector"
+)
+
+// Unlimited marks a packet budget with no constraint applied.
+const Unlimited = -1
+
+// Decision is the inference engine's output for one adaptation cycle.
+type Decision struct {
+	// PacketBudget is the maximum number of image packets to accept;
+	// Unlimited (-1) when no rule constrained it, 0 meaning "accept
+	// nothing" under extreme load.
+	PacketBudget int
+	// Modality is the delivery modality to request; empty means keep
+	// the source modality.
+	Modality media.Kind
+	// Contract is the QoS contract evaluation for this state.
+	Contract profile.Evaluation
+	// Fired lists the rules that fired, in firing order.
+	Fired []string
+}
+
+// ConstrainPackets lowers the budget to at most n (composing by min).
+func (d *Decision) ConstrainPackets(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if d.PacketBudget == Unlimited || n < d.PacketBudget {
+		d.PacketBudget = n
+	}
+}
+
+// EffectiveBudget resolves the budget against the total packet count.
+func (d Decision) EffectiveBudget(total int) int {
+	if d.PacketBudget == Unlimited || d.PacketBudget > total {
+		return total
+	}
+	return d.PacketBudget
+}
+
+// Rule is one policy: when the condition matches the state, the action
+// refines the decision.
+type Rule struct {
+	// Name identifies the rule in Decision.Fired and logs.
+	Name string
+	// When guards the action; a nil selector always fires.
+	When *selector.Selector
+	// Then applies the rule's effect.  It must not retain state.
+	Then func(state selector.Attributes, d *Decision)
+	// Priority orders evaluation (higher first; ties keep insertion
+	// order).
+	Priority int
+}
+
+// Engine evaluates the policy database against observed state.
+// It is safe for concurrent use.
+type Engine struct {
+	mu       sync.RWMutex
+	rules    []Rule
+	seq      int
+	order    []int // insertion sequence parallel to rules
+	contract *profile.Contract
+}
+
+// New creates an engine bound to a QoS contract (nil means an empty,
+// always-satisfied contract).
+func New(contract *profile.Contract) *Engine {
+	if contract == nil {
+		contract = profile.MustContract("empty")
+	}
+	return &Engine{contract: contract}
+}
+
+// Contract returns the engine's QoS contract.
+func (e *Engine) Contract() *profile.Contract { return e.contract }
+
+// AddRule installs a policy rule.
+func (e *Engine) AddRule(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("inference: rule without a name")
+	}
+	if r.Then == nil {
+		return fmt.Errorf("inference: rule %q without an action", r.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, r)
+	e.order = append(e.order, e.seq)
+	e.seq++
+	// Stable priority-descending order.
+	idx := make([]int, len(e.rules))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if e.rules[idx[a]].Priority != e.rules[idx[b]].Priority {
+			return e.rules[idx[a]].Priority > e.rules[idx[b]].Priority
+		}
+		return e.order[idx[a]] < e.order[idx[b]]
+	})
+	rules := make([]Rule, len(e.rules))
+	order := make([]int, len(e.rules))
+	for i, j := range idx {
+		rules[i], order[i] = e.rules[j], e.order[j]
+	}
+	e.rules, e.order = rules, order
+	return nil
+}
+
+// RuleNames lists the installed rules in evaluation order.
+func (e *Engine) RuleNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Decide evaluates the contract and every matching rule against the
+// state and returns the composed decision.
+func (e *Engine) Decide(state selector.Attributes) Decision {
+	e.mu.RLock()
+	rules := e.rules
+	e.mu.RUnlock()
+
+	d := Decision{PacketBudget: Unlimited, Contract: e.contract.Evaluate(state)}
+	for _, r := range rules {
+		if r.When != nil && !r.When.Matches(state) {
+			continue
+		}
+		r.Then(state, &d)
+		d.Fired = append(d.Fired, r.Name)
+	}
+	return d
+}
+
+// --- The paper's adaptation mappings (Figs 6 and 7) ---
+
+// PacketsFromPageFaults maps the observed page-fault rate to an image
+// packet budget, reproducing the paper's Fig 6 policy: 16 packets at
+// ≤30 faults, halving in powers of two down to 1 packet at ≥100
+// faults.  maxPackets generalizes the paper's 16.
+func PacketsFromPageFaults(pageFaults float64, maxPackets int) int {
+	if maxPackets < 1 {
+		maxPackets = 16
+	}
+	maxExp := int(math.Round(math.Log2(float64(maxPackets))))
+	const lo, hi = 30.0, 100.0
+	switch {
+	case pageFaults <= lo:
+		return 1 << uint(maxExp)
+	case pageFaults >= hi:
+		return 1
+	}
+	// Linear in the exponent: quantized gradation in powers of two.
+	exp := int(math.Round(float64(maxExp) * (hi - pageFaults) / (hi - lo)))
+	if exp < 0 {
+		exp = 0
+	}
+	return 1 << uint(exp)
+}
+
+// PacketsFromCPULoad maps CPU load (percent) to an image packet
+// budget, reproducing Fig 7: 16 packets at ≤30 % falling linearly to 0
+// at 100 % (under full load nothing is accepted).
+func PacketsFromCPULoad(cpuLoad float64, maxPackets int) int {
+	if maxPackets < 1 {
+		maxPackets = 16
+	}
+	const lo, hi = 30.0, 100.0
+	switch {
+	case cpuLoad <= lo:
+		return maxPackets
+	case cpuLoad >= hi:
+		return 0
+	}
+	return int(math.Floor(float64(maxPackets) * (hi - cpuLoad) / (hi - lo)))
+}
+
+// StateKey names the state attributes the default policy consumes.
+// They match the hostagent parameter vocabulary.
+const (
+	StatePageFaults = "page-faults"
+	StateCPULoad    = "cpu-load"
+	StateBandwidth  = "bandwidth"
+	StateSIR        = "sir"
+	// StateLoss is the observed data-packet loss fraction in [0, 1],
+	// reported by the RTP reception statistics.
+	StateLoss = "loss-fraction"
+)
+
+// PacketsFromLoss maps an observed loss fraction to a packet budget:
+// accepting a long stream over a lossy path wastes the sender's
+// bandwidth on packets whose predecessors were dropped (prefix
+// decoding stalls at the first gap), so the budget shrinks
+// proportionally to the expected usable prefix.
+func PacketsFromLoss(loss float64, maxPackets int) int {
+	if maxPackets < 1 {
+		maxPackets = 16
+	}
+	if loss <= 0 {
+		return maxPackets
+	}
+	if loss >= 1 {
+		return 0
+	}
+	return int(math.Floor(float64(maxPackets) * (1 - loss)))
+}
+
+// DefaultPolicy installs the reproduction's standard rules on the
+// engine:
+//
+//   - "page-fault-budget": Fig 6 mapping, fires when page-faults is
+//     observed.
+//   - "cpu-load-budget": Fig 7 mapping, fires when cpu-load is
+//     observed.  Budgets compose by minimum.
+//   - "low-bandwidth-sketch": below sketchBps the modality degrades to
+//     sketch; below textBps, to text (the wired-client analogue of the
+//     base station's SIR tiers).
+func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error {
+	rules := []Rule{
+		{
+			Name:     "page-fault-budget",
+			When:     selector.MustCompile("exists(" + StatePageFaults + ")"),
+			Priority: 10,
+			Then: func(state selector.Attributes, d *Decision) {
+				d.ConstrainPackets(PacketsFromPageFaults(state[StatePageFaults].Num(), maxPackets))
+			},
+		},
+		{
+			Name:     "cpu-load-budget",
+			When:     selector.MustCompile("exists(" + StateCPULoad + ")"),
+			Priority: 10,
+			Then: func(state selector.Attributes, d *Decision) {
+				d.ConstrainPackets(PacketsFromCPULoad(state[StateCPULoad].Num(), maxPackets))
+			},
+		},
+		{
+			Name:     "low-bandwidth-sketch",
+			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, sketchBps)),
+			Priority: 5,
+			Then: func(state selector.Attributes, d *Decision) {
+				if d.Modality == "" || d.Modality == media.KindImage {
+					d.Modality = media.KindSketch
+				}
+			},
+		},
+		{
+			Name:     "low-bandwidth-text",
+			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, textBps)),
+			Priority: 4, // after the sketch rule so text wins when both fire
+			Then: func(state selector.Attributes, d *Decision) {
+				d.Modality = media.KindText
+			},
+		},
+		{
+			Name:     "loss-budget",
+			When:     selector.MustCompile("exists(" + StateLoss + ")"),
+			Priority: 9,
+			Then: func(state selector.Attributes, d *Decision) {
+				d.ConstrainPackets(PacketsFromLoss(state[StateLoss].Num(), maxPackets))
+			},
+		},
+		{
+			Name:     "heavy-loss-sketch",
+			When:     selector.MustCompile(StateLoss + " >= 0.5"),
+			Priority: 3,
+			Then: func(state selector.Attributes, d *Decision) {
+				if d.Modality == "" || d.Modality == media.KindImage {
+					d.Modality = media.KindSketch
+				}
+			},
+		},
+	}
+	for _, r := range rules {
+		if err := e.AddRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package media
+
+import (
+	"fmt"
+
+	"adaptiveqos/internal/wavelet"
+)
+
+// FormatEZWColor is the progressive color stream format: luma first,
+// then chroma, so truncation degrades toward grayscale before it
+// degrades in resolution.
+const FormatEZWColor = "ezc"
+
+// EncodeColorImage wraps a color raster as a progressive media object.
+// Its "color" attribute is true — the Figure 3 negotiation attribute.
+func EncodeColorImage(im *wavelet.ColorImage, description string) (*Object, error) {
+	stream, err := wavelet.EncodeColor(im, 0, wavelet.Filter53)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{
+		Kind:        KindImage,
+		Format:      FormatEZWColor,
+		Data:        stream,
+		Description: description,
+		Width:       im.W,
+		Height:      im.H,
+	}, nil
+}
+
+// DecodeColorImage reconstructs the color raster from an object (any
+// prefix of the progressive stream).
+func DecodeColorImage(o *Object) (*wavelet.ColorDecodeResult, error) {
+	if o.Kind != KindImage || o.Format != FormatEZWColor {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, o)
+	}
+	return wavelet.DecodeColor(o.Data)
+}
+
+// IsColor reports whether an object carries color visual content.
+func IsColor(o *Object) bool {
+	return o.Kind == KindImage && o.Format == FormatEZWColor
+}
+
+// ToGrayscale converts a color image object to the grayscale
+// progressive format — the "B/W transformation" a monochrome-capable
+// client advertises in Figure 3.  Grayscale objects pass through
+// unchanged (as a copy).
+func ToGrayscale(o *Object) (*Object, error) {
+	if o.Kind != KindImage {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, o)
+	}
+	if o.Format == FormatEZW {
+		return o.Clone(), nil
+	}
+	res, err := DecodeColorImage(o)
+	if err != nil {
+		return nil, err
+	}
+	luma := res.Image.Luma()
+	luma.Clamp8()
+	return EncodeImage(luma, o.Description)
+}
+
+// colorToGray is the registered module form of ToGrayscale.  It maps
+// image→image (a format conversion within the modality), so it is
+// addressed by name rather than by the modality-path search.
+type colorToGray struct{}
+
+// Name implements Transformer.
+func (colorToGray) Name() string { return "color-to-grayscale" }
+
+// From implements Transformer.
+func (colorToGray) From() Kind { return KindImage }
+
+// To implements Transformer.
+func (colorToGray) To() Kind { return KindImage }
+
+// Transform implements Transformer.
+func (colorToGray) Transform(in *Object) (*Object, error) { return ToGrayscale(in) }

@@ -1,0 +1,285 @@
+package media
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptiveqos/internal/wavelet"
+)
+
+func testImageObject(t *testing.T) *Object {
+	t.Helper()
+	im := wavelet.Medical(64, 64, 1)
+	obj, err := EncodeImage(im, "synthetic scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestEncodeDecodeImageObject(t *testing.T) {
+	im := wavelet.Circles(48, 48)
+	obj, err := EncodeImage(im, "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Kind != KindImage || obj.Format != FormatEZW || obj.Width != 48 {
+		t.Errorf("object: %+v", obj)
+	}
+	res, err := DecodeImage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lossless || !res.Image.Equal(im) {
+		t.Error("full image object should decode losslessly")
+	}
+	if _, err := DecodeImage(NewText("nope")); !errors.Is(err, ErrBadInput) {
+		t.Errorf("decode non-image: %v", err)
+	}
+
+	attrs := obj.Attrs()
+	if attrs["media"].Str() != "image" || attrs["width"].Num() != 48 {
+		t.Errorf("attrs: %v", attrs)
+	}
+	if attrs["description"].Str() != "rings" {
+		t.Errorf("description attr: %v", attrs)
+	}
+}
+
+func TestGradate(t *testing.T) {
+	obj := testImageObject(t)
+	full := obj.Size()
+
+	half, err := Gradate(obj, full/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Size() != full/2 {
+		t.Errorf("gradated size = %d, want %d", half.Size(), full/2)
+	}
+	// The gradated prefix still decodes.
+	res, err := DecodeImage(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lossless {
+		t.Error("half stream should not be lossless")
+	}
+	if res.Image.W != 64 {
+		t.Error("gradated decode dimensions")
+	}
+	// Budget larger than content: unchanged copy.
+	same, err := Gradate(obj, full*2)
+	if err != nil || same.Size() != full {
+		t.Errorf("oversized budget: %d, %v", same.Size(), err)
+	}
+	same.Data[0] = 'X'
+	if obj.Data[0] == 'X' {
+		t.Error("Gradate must not alias input")
+	}
+	// Tiny budget clamps to header.
+	tiny, err := Gradate(obj, 1)
+	if err != nil || tiny.Size() < 10 {
+		t.Errorf("tiny budget: %d, %v", tiny.Size(), err)
+	}
+	// Text can't be gradated below its size.
+	if _, err := Gradate(NewText(strings.Repeat("a", 100)), 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("gradate text: %v", err)
+	}
+	// ... but passes through if it fits.
+	if o, err := Gradate(NewText("hi"), 100); err != nil || string(o.Data) != "hi" {
+		t.Errorf("gradate fitting text: %v", err)
+	}
+}
+
+func TestImageToSketchToText(t *testing.T) {
+	obj := testImageObject(t)
+	reg := DefaultRegistry()
+
+	sk, err := reg.Transmode(obj, KindSketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Kind != KindSketch || sk.Format != FormatSketch {
+		t.Errorf("sketch object: %+v", sk)
+	}
+	if ratio := float64(obj.Size()) / float64(sk.Size()); ratio < 20 {
+		t.Errorf("sketch only %.1fx smaller than coded image", ratio)
+	}
+
+	txt, err := reg.Transmode(sk, KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt.Data) != "synthetic scan" {
+		t.Errorf("sketch->text = %q", txt.Data)
+	}
+
+	// Direct image -> text uses the description.
+	txt2, err := reg.Transmode(obj, KindText)
+	if err != nil || string(txt2.Data) != "synthetic scan" {
+		t.Errorf("image->text: %q, %v", txt2.Data, err)
+	}
+
+	// Missing description still yields usable text.
+	anon := obj.Clone()
+	anon.Description = ""
+	txt3, err := ImageToText{}.Transform(anon)
+	if err != nil || !strings.Contains(string(txt3.Data), "64x64") {
+		t.Errorf("undescribed image->text: %q, %v", txt3.Data, err)
+	}
+}
+
+func TestSpeechRoundTrip(t *testing.T) {
+	reg := DefaultRegistry()
+	in := NewText("share the northeast quadrant of the site map")
+
+	sp, err := reg.Transmode(in, KindSpeech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != KindSpeech || sp.Format != FormatSpeech {
+		t.Errorf("speech object: %+v", sp)
+	}
+	if sp.Size() <= in.Size()*8 {
+		t.Errorf("speech should be much larger than text: %d vs %d", sp.Size(), in.Size())
+	}
+
+	back, err := reg.Transmode(sp, KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Data) != string(in.Data) {
+		t.Errorf("speech->text = %q", back.Data)
+	}
+
+	// Corrupt speech stream.
+	bad := sp.Clone()
+	bad.Data = bad.Data[:6]
+	if _, err := (SpeechToText{}).Transform(bad); !errors.Is(err, ErrBadInput) {
+		t.Errorf("truncated speech: %v", err)
+	}
+	bad = sp.Clone()
+	bad.Data[0] = 'X'
+	if _, err := (SpeechToText{}).Transform(bad); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad magic speech: %v", err)
+	}
+}
+
+func TestMultiHopPath(t *testing.T) {
+	reg := DefaultRegistry()
+
+	// image -> speech requires image->text->speech (or via sketch).
+	path, err := reg.Path(KindImage, KindSpeech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("path length = %d, want 2", len(path))
+	}
+	obj := testImageObject(t)
+	sp, err := reg.Transmode(obj, KindSpeech)
+	if err != nil || sp.Kind != KindSpeech {
+		t.Errorf("image->speech: %v, %v", sp, err)
+	}
+
+	// Identity path.
+	p, err := reg.Path(KindText, KindText)
+	if err != nil || len(p) != 0 {
+		t.Errorf("identity path: %v, %v", p, err)
+	}
+	same, err := reg.Transmode(obj, KindImage)
+	if err != nil || !strings.Contains(same.String(), "image") {
+		t.Errorf("identity transmode: %v", err)
+	}
+	same.Data[0] = '!'
+	if obj.Data[0] == '!' {
+		t.Error("identity transmode must not alias input")
+	}
+
+	// No reverse path to image exists.
+	if _, err := reg.Path(KindText, KindImage); !errors.Is(err, ErrNoPath) {
+		t.Errorf("text->image: %v", err)
+	}
+	if reg.CanReach(KindText, KindImage) {
+		t.Error("CanReach text->image should be false")
+	}
+	if !reg.CanReach(KindImage, KindText) {
+		t.Error("CanReach image->text should be true")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	reg := DefaultRegistry()
+	if len(reg.Names()) != 7 {
+		t.Errorf("names: %v", reg.Names())
+	}
+	tr, err := reg.Get("text-to-speech")
+	if err != nil || tr.From() != KindText || tr.To() != KindSpeech {
+		t.Errorf("Get: %v, %v", tr, err)
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnregistered) {
+		t.Errorf("missing module: %v", err)
+	}
+	// Every registered transformer rejects wrong-kind input.
+	for _, name := range reg.Names() {
+		tr, _ := reg.Get(name)
+		wrong := &Object{Kind: KindVideo, Format: "x", Data: []byte("x")}
+		if _, err := tr.Transform(wrong); err == nil {
+			t.Errorf("%s accepted video input", name)
+		}
+	}
+}
+
+// TestQuickTextSpeechRoundTrip: arbitrary text survives the
+// text→speech→text chain exactly.
+func TestQuickTextSpeechRoundTrip(t *testing.T) {
+	reg := DefaultRegistry()
+	f := func(s string) bool {
+		if len(s) > 10000 {
+			s = s[:10000]
+		}
+		sp, err := reg.Transmode(NewText(s), KindSpeech)
+		if err != nil {
+			return false
+		}
+		back, err := reg.Transmode(sp, KindText)
+		return err == nil && string(back.Data) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGradatePrefixDecodes: any gradation budget yields a
+// decodable image object with non-increasing size.
+func TestQuickGradatePrefixDecodes(t *testing.T) {
+	obj := func() *Object {
+		im := wavelet.Circles(32, 32)
+		o, err := EncodeImage(im, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}()
+	f := func(budget int) bool {
+		if budget < 0 {
+			budget = -budget
+		}
+		budget %= obj.Size() + 100
+		g, err := Gradate(obj, budget)
+		if err != nil {
+			return false
+		}
+		if g.Size() > obj.Size() {
+			return false
+		}
+		res, err := DecodeImage(g)
+		return err == nil && res.Image.W == 32 && res.Image.H == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"adaptiveqos/internal/wavelet"
+)
+
+// FormatEZW is the progressive wavelet stream format produced by
+// EncodeImage; prefixes of the stream are decodable.
+const FormatEZW = "ezw"
+
+// FormatSketch is the marshaled sketch format.
+const FormatSketch = "sketch"
+
+// FormatText is plain UTF-8 text.
+const FormatText = "utf8"
+
+// FormatSpeech is the simulated phoneme stream produced by the
+// text-to-speech module.
+const FormatSpeech = "pcm-sim"
+
+// EncodeImage wraps a raster image as a progressive media object.
+func EncodeImage(im *wavelet.Image, description string) (*Object, error) {
+	stream, err := wavelet.Encode(im, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{
+		Kind:        KindImage,
+		Format:      FormatEZW,
+		Data:        stream,
+		Description: description,
+		Width:       im.W,
+		Height:      im.H,
+	}, nil
+}
+
+// DecodeImage reconstructs the raster from an image object (any
+// prefix of the progressive stream).
+func DecodeImage(o *Object) (*wavelet.DecodeResult, error) {
+	if o.Kind != KindImage || o.Format != FormatEZW {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, o)
+	}
+	return wavelet.Decode(o.Data)
+}
+
+// Gradate applies gradual gradation: it truncates a progressive image
+// object to at most budget bytes (never below the stream header), the
+// fidelity-reducing transformation the inference engine applies when
+// resources are constrained.  Non-image objects and non-progressive
+// formats pass through unchanged when they already fit, and error
+// otherwise (they cannot be gradated).
+func Gradate(o *Object, budget int) (*Object, error) {
+	if o.Size() <= budget {
+		return o.Clone(), nil
+	}
+	if o.Kind != KindImage || (o.Format != FormatEZW && o.Format != FormatEZWColor) {
+		return nil, fmt.Errorf("%w: cannot gradate %s to %d bytes", ErrBadInput, o, budget)
+	}
+	if budget < 16 {
+		budget = 16 // keep at least the header + a few code bytes
+	}
+	if budget > len(o.Data) {
+		budget = len(o.Data)
+	}
+	c := o.Clone()
+	c.Data = c.Data[:budget]
+	return c, nil
+}
+
+// ImageToSketch extracts the robust sketch layer from a progressive
+// image object (≈2000× smaller than the original raster).
+type ImageToSketch struct{}
+
+// Name implements Transformer.
+func (ImageToSketch) Name() string { return "image-to-sketch" }
+
+// From implements Transformer.
+func (ImageToSketch) From() Kind { return KindImage }
+
+// To implements Transformer.
+func (ImageToSketch) To() Kind { return KindSketch }
+
+// Transform implements Transformer.
+func (ImageToSketch) Transform(in *Object) (*Object, error) {
+	if IsColor(in) {
+		gray, err := ToGrayscale(in)
+		if err != nil {
+			return nil, err
+		}
+		in = gray
+	}
+	res, err := DecodeImage(in)
+	if err != nil {
+		return nil, err
+	}
+	sk := wavelet.ExtractSketch(res.Image, in.Description)
+	data, err := sk.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &Object{
+		Kind:        KindSketch,
+		Format:      FormatSketch,
+		Data:        data,
+		Description: in.Description,
+		Width:       sk.W,
+		Height:      sk.H,
+	}, nil
+}
+
+// ImageToText reduces an image to its verbal description — the minimal
+// modality for text-only clients.
+type ImageToText struct{}
+
+// Name implements Transformer.
+func (ImageToText) Name() string { return "image-to-text" }
+
+// From implements Transformer.
+func (ImageToText) From() Kind { return KindImage }
+
+// To implements Transformer.
+func (ImageToText) To() Kind { return KindText }
+
+// Transform implements Transformer.
+func (ImageToText) Transform(in *Object) (*Object, error) {
+	if in.Kind != KindImage {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, in)
+	}
+	desc := in.Description
+	if desc == "" {
+		desc = fmt.Sprintf("[image %dx%d, no description]", in.Width, in.Height)
+	}
+	return &Object{Kind: KindText, Format: FormatText, Data: []byte(desc), Description: desc}, nil
+}
+
+// SketchToText reduces a sketch to its verbal description.
+type SketchToText struct{}
+
+// Name implements Transformer.
+func (SketchToText) Name() string { return "sketch-to-text" }
+
+// From implements Transformer.
+func (SketchToText) From() Kind { return KindSketch }
+
+// To implements Transformer.
+func (SketchToText) To() Kind { return KindText }
+
+// Transform implements Transformer.
+func (SketchToText) Transform(in *Object) (*Object, error) {
+	if in.Kind != KindSketch {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, in)
+	}
+	sk, err := wavelet.UnmarshalSketch(in.Data)
+	if err != nil {
+		return nil, err
+	}
+	desc := sk.Description
+	if desc == "" {
+		desc = fmt.Sprintf("[sketch %dx%d, %d edge points]", sk.W, sk.H, sk.EdgeCount())
+	}
+	return &Object{Kind: KindText, Format: FormatText, Data: []byte(desc), Description: desc}, nil
+}
+
+// TextToSpeech synthesizes a simulated speech stream.  The paper's
+// implementation called external modality-transformation services; the
+// reproduction produces a deterministic phoneme-rate stream whose size
+// models real synthesized audio (~16 bytes per input character at the
+// simulated codec rate), which is what the QoS cost model needs.
+type TextToSpeech struct{}
+
+// speechBytesPerChar is the simulated codec expansion factor.
+const speechBytesPerChar = 16
+
+// Name implements Transformer.
+func (TextToSpeech) Name() string { return "text-to-speech" }
+
+// From implements Transformer.
+func (TextToSpeech) From() Kind { return KindText }
+
+// To implements Transformer.
+func (TextToSpeech) To() Kind { return KindSpeech }
+
+// Transform implements Transformer.
+func (TextToSpeech) Transform(in *Object) (*Object, error) {
+	if in.Kind != KindText {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, in)
+	}
+	text := string(in.Data)
+	// Stream layout: "SP01" | textLen uint32 | text | phoneme frames.
+	// Embedding the text keeps the simulated speech→text inverse exact,
+	// mirroring a perfect recognizer.
+	data := make([]byte, 0, 8+len(text)+len(text)*speechBytesPerChar)
+	data = append(data, 'S', 'P', '0', '1')
+	data = binary.BigEndian.AppendUint32(data, uint32(len(text)))
+	data = append(data, text...)
+	for i, ch := range []byte(text) {
+		for j := 0; j < speechBytesPerChar; j++ {
+			data = append(data, byte(int(ch)*31+i*7+j*13))
+		}
+	}
+	return &Object{
+		Kind:        KindSpeech,
+		Format:      FormatSpeech,
+		Data:        data,
+		Description: in.Description,
+	}, nil
+}
+
+// SpeechToText recovers text from the simulated speech stream.
+type SpeechToText struct{}
+
+// Name implements Transformer.
+func (SpeechToText) Name() string { return "speech-to-text" }
+
+// From implements Transformer.
+func (SpeechToText) From() Kind { return KindSpeech }
+
+// To implements Transformer.
+func (SpeechToText) To() Kind { return KindText }
+
+// Transform implements Transformer.
+func (SpeechToText) Transform(in *Object) (*Object, error) {
+	if in.Kind != KindSpeech || len(in.Data) < 8 || string(in.Data[:4]) != "SP01" {
+		return nil, fmt.Errorf("%w: %s", ErrBadInput, in)
+	}
+	n := int(binary.BigEndian.Uint32(in.Data[4:]))
+	if len(in.Data) < 8+n {
+		return nil, fmt.Errorf("%w: truncated speech stream", ErrBadInput)
+	}
+	text := string(in.Data[8 : 8+n])
+	return &Object{Kind: KindText, Format: FormatText, Data: []byte(text), Description: in.Description}, nil
+}
+
+// NewText builds a text object.
+func NewText(s string) *Object {
+	return &Object{Kind: KindText, Format: FormatText, Data: []byte(s), Description: firstLine(s)}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

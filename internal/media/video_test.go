@@ -1,0 +1,169 @@
+package media
+
+import (
+	"errors"
+	"testing"
+
+	"adaptiveqos/internal/wavelet"
+)
+
+func testVideo(t *testing.T, nFrames int) *Object {
+	t.Helper()
+	frames := make([]*wavelet.Image, nFrames)
+	for i := range frames {
+		frames[i] = wavelet.Medical(32, 32, int64(i+1))
+	}
+	obj, err := EncodeVideo(frames, 24, "surveillance clip, gate 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestEncodeVideoAndInfo(t *testing.T) {
+	obj := testVideo(t, 6)
+	if obj.Kind != KindVideo || obj.Format != FormatVideoSeq || obj.Width != 32 {
+		t.Errorf("object: %+v", obj)
+	}
+	info, err := VideoInfoOf(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != (VideoInfo{Width: 32, Height: 32, FPS: 24, Frames: 6}) {
+		t.Errorf("info: %+v", info)
+	}
+
+	// Every frame decodes losslessly.
+	for i := 0; i < 6; i++ {
+		res, err := DecodeVideoFrame(obj, i)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !res.Lossless || !res.Image.Equal(wavelet.Medical(32, 32, int64(i+1))) {
+			t.Errorf("frame %d not exact", i)
+		}
+	}
+	if _, err := DecodeVideoFrame(obj, 6); !errors.Is(err, ErrBadInput) {
+		t.Errorf("out-of-range frame: %v", err)
+	}
+	if _, err := DecodeVideoFrame(obj, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative frame: %v", err)
+	}
+}
+
+func TestEncodeVideoValidation(t *testing.T) {
+	if _, err := EncodeVideo(nil, 24, ""); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no frames: %v", err)
+	}
+	if _, err := EncodeVideo([]*wavelet.Image{wavelet.Gradient(8, 8)}, 0, ""); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero fps: %v", err)
+	}
+	mixed := []*wavelet.Image{wavelet.Gradient(8, 8), wavelet.Gradient(16, 16)}
+	if _, err := EncodeVideo(mixed, 24, ""); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mixed sizes: %v", err)
+	}
+
+	// Corrupted containers.
+	obj := testVideo(t, 2)
+	bad := obj.Clone()
+	bad.Data[0] = 'X'
+	if _, err := VideoInfoOf(bad); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = obj.Clone()
+	bad.Data = bad.Data[:15] // truncated mid-frame
+	if _, err := DecodeVideoFrame(bad, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := VideoInfoOf(NewText("x")); !errors.Is(err, ErrBadInput) {
+		t.Errorf("text as video: %v", err)
+	}
+}
+
+func TestGradateFrameRate(t *testing.T) {
+	obj := testVideo(t, 8)
+	half, err := GradateFrameRate(obj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := VideoInfoOf(half)
+	if info.Frames != 4 || info.FPS != 12 {
+		t.Errorf("halved: %+v", info)
+	}
+	if half.Size() >= obj.Size() {
+		t.Errorf("gradated video not smaller: %d vs %d", half.Size(), obj.Size())
+	}
+	// Kept frames are the originals at indices 0, 2, 4, 6.
+	res, err := DecodeVideoFrame(half, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Image.Equal(wavelet.Medical(32, 32, 3)) {
+		t.Error("kept frame is not the original index-2 frame")
+	}
+
+	// keepEvery = 1 is an identity copy.
+	same, err := GradateFrameRate(obj, 1)
+	if err != nil || same.Size() != obj.Size() {
+		t.Errorf("identity gradation: %v", err)
+	}
+	same.Data[0] = '!'
+	if obj.Data[0] == '!' {
+		t.Error("identity gradation aliases input")
+	}
+
+	// Aggressive drop floors at 1 fps and 1 frame.
+	one, err := GradateFrameRate(obj, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ = VideoInfoOf(one)
+	if info.Frames != 1 || info.FPS != 1 {
+		t.Errorf("aggressive: %+v", info)
+	}
+
+	if _, err := GradateFrameRate(obj, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("keepEvery 0: %v", err)
+	}
+}
+
+func TestVideoTransformChain(t *testing.T) {
+	reg := DefaultRegistry()
+	obj := testVideo(t, 3)
+
+	// video → image (keyframe).
+	img, err := reg.Transmode(obj, KindImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Kind != KindImage || img.Format != FormatEZW {
+		t.Errorf("keyframe: %+v", img)
+	}
+	res, err := DecodeImage(img)
+	if err != nil || !res.Image.Equal(wavelet.Medical(32, 32, 1)) {
+		t.Errorf("keyframe content: %v", err)
+	}
+
+	// Full degradation chain: video → ... → text keeps the semantics.
+	txt, err := reg.Transmode(obj, KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt.Data) != "surveillance clip, gate 3" {
+		t.Errorf("video->text: %q", txt.Data)
+	}
+
+	// ... and even speech.
+	sp, err := reg.Transmode(obj, KindSpeech)
+	if err != nil || sp.Kind != KindSpeech {
+		t.Errorf("video->speech: %v", err)
+	}
+
+	if !reg.CanReach(KindVideo, KindSketch) {
+		t.Error("video should reach sketch via keyframe")
+	}
+	// No path back up.
+	if reg.CanReach(KindText, KindVideo) {
+		t.Error("text->video should not exist")
+	}
+}

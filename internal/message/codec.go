@@ -1,0 +1,284 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"adaptiveqos/internal/selector"
+)
+
+// Wire format (all multi-byte integers big-endian):
+//
+//	magic     [4]byte  "AQM1"
+//	kind      uint8
+//	seq       uint32
+//	timestamp int64    UnixNano
+//	sender    string   (uint16 length + bytes)
+//	selector  string   (uint16 length + bytes)
+//	nattrs    uint16
+//	attrs     nattrs × { name string, kind uint8, payload }
+//	            payload: string → uint16 len + bytes
+//	                     number → float64 bits
+//	                     bool   → uint8
+//	bodyLen   uint32
+//	body      bodyLen bytes
+//	crc       uint32   IEEE CRC-32 of everything before it
+var magic = [4]byte{'A', 'Q', 'M', '1'}
+
+// Codec limits; exceeding them is an encoding error, and decoders
+// reject frames that claim larger sizes so a corrupt length field
+// cannot drive huge allocations.
+const (
+	MaxStringLen = 1<<16 - 1
+	MaxAttrs     = 1 << 12
+	MaxBodyLen   = 1 << 26 // 64 MiB
+)
+
+// Codec errors.
+var (
+	ErrBadMagic  = errors.New("message: bad magic")
+	ErrTruncated = errors.New("message: truncated frame")
+	ErrChecksum  = errors.New("message: checksum mismatch")
+	ErrBadKind   = errors.New("message: unknown message kind")
+	ErrTooLarge  = errors.New("message: field exceeds codec limit")
+	ErrBadAttr   = errors.New("message: malformed attribute")
+	ErrTrailing  = errors.New("message: trailing bytes after frame")
+)
+
+// Encode serializes the message to a self-delimiting binary frame.
+func Encode(m *Message) ([]byte, error) {
+	if !m.Kind.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+	}
+	if len(m.Sender) > MaxStringLen || len(m.Selector) > MaxStringLen {
+		return nil, ErrTooLarge
+	}
+	if len(m.Attrs) > MaxAttrs {
+		return nil, ErrTooLarge
+	}
+	if len(m.Body) > MaxBodyLen {
+		return nil, ErrTooLarge
+	}
+
+	buf := make([]byte, 0, 64+len(m.Sender)+len(m.Selector)+len(m.Body)+32*len(m.Attrs))
+	buf = append(buf, magic[:]...)
+	buf = append(buf, byte(m.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Timestamp.UnixNano()))
+	buf = appendString(buf, m.Sender)
+	buf = appendString(buf, m.Selector)
+
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Attrs)))
+	for _, name := range m.Attrs.Names() { // deterministic order
+		if len(name) > MaxStringLen {
+			return nil, ErrTooLarge
+		}
+		v := m.Attrs[name]
+		buf = appendString(buf, name)
+		buf = append(buf, byte(v.Kind()))
+		switch v.Kind() {
+		case selector.KindString:
+			if len(v.Str()) > MaxStringLen {
+				return nil, ErrTooLarge
+			}
+			buf = appendString(buf, v.Str())
+		case selector.KindNumber:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.Num()))
+		case selector.KindBool:
+			if v.Bool() {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			return nil, fmt.Errorf("%w: attribute %q has invalid value", ErrBadAttr, name)
+		}
+	}
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Body)))
+	buf = append(buf, m.Body...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// Decode parses a frame produced by Encode.  The input must contain
+// exactly one frame.
+func Decode(frame []byte) (*Message, error) {
+	const minLen = 4 + 1 + 4 + 8 + 2 + 2 + 2 + 4 + 4
+	if len(frame) < minLen {
+		return nil, ErrTruncated
+	}
+	payload, sum := frame[:len(frame)-4], binary.BigEndian.Uint32(frame[len(frame)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, ErrChecksum
+	}
+	d := decoder{buf: payload}
+
+	var mg [4]byte
+	if err := d.bytes(mg[:]); err != nil {
+		return nil, err
+	}
+	if mg != magic {
+		return nil, ErrBadMagic
+	}
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Kind: Kind(kind)}
+	if !m.Kind.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	if m.Seq, err = d.u32(); err != nil {
+		return nil, err
+	}
+	ts, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Timestamp = time.Unix(0, int64(ts))
+	if m.Sender, err = d.str(); err != nil {
+		return nil, err
+	}
+	if m.Selector, err = d.str(); err != nil {
+		return nil, err
+	}
+
+	nattrs, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(nattrs) > MaxAttrs {
+		return nil, ErrTooLarge
+	}
+	m.Attrs = make(selector.Attributes, nattrs)
+	for i := 0; i < int(nattrs); i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		k, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch selector.Kind(k) {
+		case selector.KindString:
+			s, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = selector.S(s)
+		case selector.KindNumber:
+			bits, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = selector.N(math.Float64frombits(bits))
+		case selector.KindBool:
+			b, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = selector.B(b != 0)
+		default:
+			return nil, fmt.Errorf("%w: attribute %q kind %d", ErrBadAttr, name, k)
+		}
+	}
+
+	bodyLen, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if bodyLen > MaxBodyLen {
+		return nil, ErrTooLarge
+	}
+	if int(bodyLen) > len(d.buf)-d.off {
+		return nil, ErrTruncated
+	}
+	m.Body = append([]byte(nil), d.buf[d.off:d.off+int(bodyLen)]...)
+	d.off += int(bodyLen)
+	if d.off != len(d.buf) {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a bounds-checked big-endian reader over a byte slice.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if len(d.buf)-d.off < n {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (d *decoder) bytes(dst []byte) error {
+	if err := d.need(len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.buf[d.off:])
+	d.off += len(dst)
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}

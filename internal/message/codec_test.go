@@ -1,0 +1,293 @@
+package message
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adaptiveqos/internal/selector"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Kind:      KindData,
+		Sender:    "clientA",
+		Seq:       42,
+		Timestamp: time.Unix(1_000_000_000, 123456789),
+		Selector:  `media == "image" and size <= 1048576`,
+		Attrs: selector.Attributes{
+			AttrMedia:    selector.S("image"),
+			AttrEncoding: selector.S("ezw"),
+			AttrSize:     selector.N(1 << 20),
+			AttrColor:    selector.B(true),
+		},
+		Body: []byte("progressive image bits"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Sender != m.Sender || got.Seq != m.Seq {
+		t.Errorf("header mismatch: %+v vs %+v", got, m)
+	}
+	if !got.Timestamp.Equal(m.Timestamp) {
+		t.Errorf("timestamp %v != %v", got.Timestamp, m.Timestamp)
+	}
+	if got.Selector != m.Selector {
+		t.Errorf("selector %q != %q", got.Selector, m.Selector)
+	}
+	if len(got.Attrs) != len(m.Attrs) {
+		t.Fatalf("attrs %v != %v", got.Attrs, m.Attrs)
+	}
+	for k, v := range m.Attrs {
+		if !got.Attrs[k].Equal(v) {
+			t.Errorf("attr %q: %v != %v", k, got.Attrs[k], v)
+		}
+	}
+	if string(got.Body) != string(m.Body) {
+		t.Errorf("body %q != %q", got.Body, m.Body)
+	}
+}
+
+func TestEncodeDecodeEmptyFields(t *testing.T) {
+	m := &Message{Kind: KindControl, Timestamp: time.Unix(0, 0)}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sender != "" || got.Selector != "" || len(got.Attrs) != 0 || len(got.Body) != 0 {
+		t.Errorf("empty message did not round-trip: %+v", got)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := Encode(&Message{Kind: 0}); !errors.Is(err, ErrBadKind) {
+		t.Errorf("zero kind: %v", err)
+	}
+	if _, err := Encode(&Message{Kind: 99}); !errors.Is(err, ErrBadKind) {
+		t.Errorf("kind 99: %v", err)
+	}
+	big := strings.Repeat("x", MaxStringLen+1)
+	if _, err := Encode(&Message{Kind: KindEvent, Sender: big}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized sender: %v", err)
+	}
+	if _, err := Encode(&Message{Kind: KindEvent, Selector: big}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized selector: %v", err)
+	}
+	m := &Message{Kind: KindEvent, Attrs: selector.Attributes{"v": {}}}
+	if _, err := Encode(m); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("invalid attr value: %v", err)
+	}
+	m = &Message{Kind: KindEvent, Attrs: selector.Attributes{"v": selector.S(big)}}
+	if _, err := Encode(m); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized attr: %v", err)
+	}
+	m = &Message{Kind: KindEvent, Body: make([]byte, MaxBodyLen+1)}
+	if _, err := Encode(m); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized body: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame, err := Encode(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Decode(frame[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short frame: %v", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil frame: %v", err)
+	}
+
+	// Flip one byte anywhere before the CRC: must fail the checksum.
+	for _, pos := range []int{0, 4, 9, len(frame) / 2, len(frame) - 5} {
+		corrupt := append([]byte(nil), frame...)
+		corrupt[pos] ^= 0xFF
+		if _, err := Decode(corrupt); !errors.Is(err, ErrChecksum) {
+			t.Errorf("corruption at %d: got %v, want checksum error", pos, err)
+		}
+	}
+
+	// Bad magic with a recomputed CRC must be caught by the magic check.
+	corrupt := append([]byte(nil), frame...)
+	corrupt[0] = 'X'
+	fixCRC(corrupt)
+	if _, err := Decode(corrupt); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	// Bad kind with valid CRC.
+	corrupt = append([]byte(nil), frame...)
+	corrupt[4] = 200
+	fixCRC(corrupt)
+	if _, err := Decode(corrupt); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad kind: %v", err)
+	}
+
+	// Trailing garbage inside the checksummed region.
+	corrupt = append([]byte(nil), frame[:len(frame)-4]...)
+	corrupt = append(corrupt, 0xAB)
+	corrupt = append(corrupt, 0, 0, 0, 0)
+	fixCRC(corrupt)
+	if _, err := Decode(corrupt); !errors.Is(err, ErrTrailing) {
+		t.Errorf("trailing bytes: %v", err)
+	}
+}
+
+func fixCRC(frame []byte) {
+	sum := crc32.ChecksumIEEE(frame[:len(frame)-4])
+	frame[len(frame)-4] = byte(sum >> 24)
+	frame[len(frame)-3] = byte(sum >> 16)
+	frame[len(frame)-2] = byte(sum >> 8)
+	frame[len(frame)-1] = byte(sum)
+}
+
+func TestMatchProfile(t *testing.T) {
+	m := sampleMessage()
+	match := selector.Attributes{"media": selector.S("image"), "size": selector.N(1024)}
+	if !m.MatchProfile(match) {
+		t.Error("expected selector match")
+	}
+	if m.MatchProfile(selector.Attributes{"media": selector.S("text")}) {
+		t.Error("unexpected match")
+	}
+	m.Selector = ""
+	if !m.MatchProfile(nil) {
+		t.Error("empty selector should match everything")
+	}
+	m.Selector = "media =="
+	if m.MatchProfile(match) {
+		t.Error("malformed selector must fail closed")
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	m := sampleMessage()
+	c := m.Clone()
+	c.Body[0] = 'X'
+	c.Attrs[AttrMedia] = selector.S("text")
+	if m.Body[0] == 'X' || m.Attrs[AttrMedia].Str() != "image" {
+		t.Error("Clone shares state")
+	}
+	if s := m.String(); !strings.Contains(s, "clientA") || !strings.Contains(s, "data") {
+		t.Errorf("String = %q", s)
+	}
+	if v, ok := m.Attr(AttrSize); !ok || v.Num() != 1<<20 {
+		t.Error("Attr lookup failed")
+	}
+	for _, k := range []Kind{KindEvent, KindData, KindProfile, KindControl, Kind(77)} {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String empty", k)
+		}
+	}
+}
+
+// TestQuickCodecRoundTrip: arbitrary messages survive encode/decode.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Kind:      Kind(1 + r.Intn(4)),
+			Sender:    randStr(r, 20),
+			Seq:       r.Uint32(),
+			Timestamp: time.Unix(r.Int63n(1<<32), r.Int63n(1e9)),
+			Selector:  randStr(r, 60),
+			Attrs:     make(selector.Attributes),
+			Body:      randBytes(r, 2000),
+		}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			name := randStr(r, 12)
+			if name == "" {
+				name = "a"
+			}
+			switch r.Intn(3) {
+			case 0:
+				m.Attrs[name] = selector.S(randStr(r, 30))
+			case 1:
+				m.Attrs[name] = selector.N(math.Float64frombits(r.Uint64()))
+			default:
+				m.Attrs[name] = selector.B(r.Intn(2) == 0)
+			}
+		}
+		// NaN attribute values are legal; normalize for comparison below.
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if got.Kind != m.Kind || got.Sender != m.Sender || got.Seq != m.Seq ||
+			!got.Timestamp.Equal(m.Timestamp) || got.Selector != m.Selector ||
+			string(got.Body) != string(m.Body) || len(got.Attrs) != len(m.Attrs) {
+			return false
+		}
+		for k, v := range m.Attrs {
+			if !got.Attrs[k].Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics: random garbage and random truncations of
+// valid frames must produce errors, not panics or giant allocations.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	valid, err := Encode(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var frame []byte
+		if r.Intn(2) == 0 {
+			frame = randBytes(r, 200)
+		} else {
+			frame = append([]byte(nil), valid[:r.Intn(len(valid)+1)]...)
+		}
+		_, _ = Decode(frame) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randStr(r *rand.Rand, max int) string {
+	b := make([]byte, r.Intn(max+1))
+	for i := range b {
+		b[i] = byte(32 + r.Intn(95))
+	}
+	return string(b)
+}
+
+func randBytes(r *rand.Rand, max int) []byte {
+	b := make([]byte, r.Intn(max+1))
+	r.Read(b)
+	return b
+}

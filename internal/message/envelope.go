@@ -1,0 +1,113 @@
+package message
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame envelope: everything the framework puts on the wire is either
+// a whole message frame or one fragment of a large one.  A one-byte
+// discriminator keeps small messages (the vast majority) at almost
+// zero overhead while letting large media events cross transports with
+// datagram limits.
+const (
+	envWhole    = 0x00
+	envFragment = 0x01
+)
+
+// Enveloper wraps outbound frames, fragmenting those that exceed the
+// MTU.  It is safe for concurrent use.
+type Enveloper struct {
+	// MTU bounds each wire datagram (envelope byte included);
+	// 0 means 8 KiB.
+	MTU    int
+	nextID atomic.Uint64
+}
+
+func (e *Enveloper) mtu() int {
+	if e.MTU <= 0 {
+		return 8 << 10
+	}
+	return e.MTU
+}
+
+// Wrap converts one encoded message frame into wire datagrams.
+func (e *Enveloper) Wrap(frame []byte) ([][]byte, error) {
+	if len(frame)+1 <= e.mtu() {
+		out := make([]byte, 0, len(frame)+1)
+		out = append(out, envWhole)
+		return [][]byte{append(out, frame...)}, nil
+	}
+	frags, err := Split(e.nextID.Add(1), frame, e.mtu()-1)
+	if err != nil {
+		return nil, fmt.Errorf("message: envelope: %w", err)
+	}
+	out := make([][]byte, len(frags))
+	for i := range frags {
+		buf := make([]byte, 0, e.mtu())
+		buf = append(buf, envFragment)
+		out[i] = append(buf, frags[i].Marshal()...)
+	}
+	return out, nil
+}
+
+// WrapWhole envelopes a frame known to fit one datagram (test and
+// tooling convenience; Enveloper.Wrap is the general path).
+func WrapWhole(frame []byte) []byte {
+	out := make([]byte, 0, len(frame)+1)
+	out = append(out, envWhole)
+	return append(out, frame...)
+}
+
+// Unwrapper reassembles inbound datagrams into message frames.  Each
+// peer needs its own fragment space, so the unwrapper keys reassembly
+// state by sender.  It is safe for concurrent use.
+type Unwrapper struct {
+	mu    sync.Mutex
+	peers map[string]*Reassembler
+}
+
+// NewUnwrapper returns an empty unwrapper.
+func NewUnwrapper() *Unwrapper {
+	return &Unwrapper{peers: make(map[string]*Reassembler)}
+}
+
+// Unwrap ingests one datagram from a peer.  It returns the completed
+// message frame when one is available (a whole frame immediately, a
+// fragmented one when its last piece arrives), or nil.
+func (u *Unwrapper) Unwrap(peer string, datagram []byte) ([]byte, error) {
+	if len(datagram) < 1 {
+		return nil, ErrTruncated
+	}
+	switch datagram[0] {
+	case envWhole:
+		return datagram[1:], nil
+	case envFragment:
+		frag, err := UnmarshalFragment(datagram[1:])
+		if err != nil {
+			return nil, err
+		}
+		u.mu.Lock()
+		r, ok := u.peers[peer]
+		if !ok {
+			r = NewReassembler()
+			u.peers[peer] = r
+		}
+		u.mu.Unlock()
+		frame, done, err := r.Add(frag)
+		if err != nil || !done {
+			return nil, err
+		}
+		return frame, nil
+	default:
+		return nil, fmt.Errorf("%w: envelope tag 0x%02X", ErrTruncated, datagram[0])
+	}
+}
+
+// Forget drops reassembly state for a departed peer.
+func (u *Unwrapper) Forget(peer string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.peers, peer)
+}

@@ -1,0 +1,145 @@
+package message
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeWholeFrame(t *testing.T) {
+	e := &Enveloper{MTU: 128}
+	u := NewUnwrapper()
+	frame := []byte("small frame")
+
+	dgs, err := e.Wrap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 || len(dgs[0]) != len(frame)+1 {
+		t.Fatalf("whole wrap: %d datagrams, %d bytes", len(dgs), len(dgs[0]))
+	}
+	got, err := u.Unwrap("peer", dgs[0])
+	if err != nil || !bytes.Equal(got, frame) {
+		t.Fatalf("unwrap: %q, %v", got, err)
+	}
+}
+
+func TestEnvelopeFragmentsLargeFrame(t *testing.T) {
+	e := &Enveloper{MTU: 100}
+	u := NewUnwrapper()
+	frame := make([]byte, 1000)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+
+	dgs, err := e.Wrap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) < 10 {
+		t.Fatalf("expected many fragments, got %d", len(dgs))
+	}
+	for i, d := range dgs {
+		if len(d) > 100 {
+			t.Fatalf("datagram %d exceeds MTU: %d", i, len(d))
+		}
+	}
+	// Deliver out of order; only the last completes.
+	order := rand.New(rand.NewSource(1)).Perm(len(dgs))
+	var got []byte
+	for _, i := range order {
+		f, err := u.Unwrap("peer", dgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil {
+			if got != nil {
+				t.Fatal("completed twice")
+			}
+			got = f
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("reassembled frame differs")
+	}
+}
+
+func TestEnvelopePeerIsolation(t *testing.T) {
+	e1 := &Enveloper{MTU: 64}
+	e2 := &Enveloper{MTU: 64}
+	u := NewUnwrapper()
+	f1 := bytes.Repeat([]byte{1}, 300)
+	f2 := bytes.Repeat([]byte{2}, 300)
+	d1, _ := e1.Wrap(f1)
+	d2, _ := e2.Wrap(f2)
+	// Both envelopers started at fragment ID 1: without per-peer state
+	// their fragments would collide.  Interleave them.
+	var got1, got2 []byte
+	for i := range d1 {
+		if f, _ := u.Unwrap("peer-1", d1[i]); f != nil {
+			got1 = f
+		}
+		if f, _ := u.Unwrap("peer-2", d2[i]); f != nil {
+			got2 = f
+		}
+	}
+	if !bytes.Equal(got1, f1) || !bytes.Equal(got2, f2) {
+		t.Fatal("cross-peer fragment interference")
+	}
+
+	u.Forget("peer-1")
+	// After Forget, a lone tail fragment cannot complete anything.
+	if f, _ := u.Unwrap("peer-1", d1[len(d1)-1]); f != nil {
+		t.Fatal("completed from forgotten state")
+	}
+}
+
+func TestEnvelopeRejects(t *testing.T) {
+	u := NewUnwrapper()
+	if _, err := u.Unwrap("p", nil); err == nil {
+		t.Error("empty datagram accepted")
+	}
+	if _, err := u.Unwrap("p", []byte{0x7F, 1, 2}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, err := u.Unwrap("p", []byte{0x01, 1, 2}); err == nil {
+		t.Error("malformed fragment accepted")
+	}
+	// Whole with empty frame is legal (decodes upstream as truncated).
+	f, err := u.Unwrap("p", []byte{0x00})
+	if err != nil || len(f) != 0 {
+		t.Errorf("empty whole: %v, %v", f, err)
+	}
+}
+
+// TestQuickEnvelopeRoundTrip: arbitrary frames at arbitrary MTUs
+// survive wrap/unwrap under random delivery order.
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mtu := 20 + r.Intn(500)
+		frame := make([]byte, r.Intn(5000))
+		r.Read(frame)
+		e := &Enveloper{MTU: mtu}
+		u := NewUnwrapper()
+		dgs, err := e.Wrap(frame)
+		if err != nil {
+			return false
+		}
+		var got []byte
+		for _, i := range r.Perm(len(dgs)) {
+			out, err := u.Unwrap("p", dgs[i])
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return bytes.Equal(got, frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

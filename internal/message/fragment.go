@@ -1,0 +1,239 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Data messages containing information such as images are of high
+// volume and must be carried in several packets.  Split breaks a
+// payload into fragments that fit a transport MTU; Reassembler
+// collects fragments (tolerating duplication and reordering) and
+// reports completion.  Each fragment body is prefixed with a small
+// header identifying the parent message and the fragment's position.
+
+// Fragment header layout (big-endian), prepended to each chunk:
+//
+//	msgID uint64 | index uint16 | count uint16 | chunkLen uint32
+const fragHeaderLen = 8 + 2 + 2 + 4
+
+// Fragmentation errors.
+var (
+	ErrFragMTU      = errors.New("message: MTU too small for fragment header")
+	ErrFragHeader   = errors.New("message: malformed fragment header")
+	ErrFragMismatch = errors.New("message: fragment inconsistent with siblings")
+	ErrFragTooMany  = errors.New("message: payload needs too many fragments")
+)
+
+// MaxFragments bounds the fragment count representable in the header.
+const MaxFragments = 1<<16 - 1
+
+// Fragment is one piece of a fragmented payload.
+type Fragment struct {
+	MsgID uint64
+	Index uint16
+	Count uint16
+	Chunk []byte
+}
+
+// Split breaks payload into fragments whose encoded size (header +
+// chunk) does not exceed mtu.  A nil/empty payload yields a single
+// empty fragment so that zero-length messages still traverse the
+// fragment path uniformly.
+func Split(msgID uint64, payload []byte, mtu int) ([]Fragment, error) {
+	chunkSize := mtu - fragHeaderLen
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("%w: mtu %d", ErrFragMTU, mtu)
+	}
+	n := (len(payload) + chunkSize - 1) / chunkSize
+	if n == 0 {
+		n = 1
+	}
+	if n > MaxFragments {
+		return nil, fmt.Errorf("%w: %d fragments at mtu %d", ErrFragTooMany, n, mtu)
+	}
+	frags := make([]Fragment, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		frags = append(frags, Fragment{
+			MsgID: msgID,
+			Index: uint16(i),
+			Count: uint16(n),
+			Chunk: payload[lo:hi],
+		})
+	}
+	return frags, nil
+}
+
+// Marshal encodes the fragment (header + chunk).
+func (f *Fragment) Marshal() []byte {
+	buf := make([]byte, fragHeaderLen+len(f.Chunk))
+	binary.BigEndian.PutUint64(buf, f.MsgID)
+	binary.BigEndian.PutUint16(buf[8:], f.Index)
+	binary.BigEndian.PutUint16(buf[10:], f.Count)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(f.Chunk)))
+	copy(buf[fragHeaderLen:], f.Chunk)
+	return buf
+}
+
+// UnmarshalFragment decodes a fragment frame.
+func UnmarshalFragment(frame []byte) (Fragment, error) {
+	if len(frame) < fragHeaderLen {
+		return Fragment{}, ErrFragHeader
+	}
+	f := Fragment{
+		MsgID: binary.BigEndian.Uint64(frame),
+		Index: binary.BigEndian.Uint16(frame[8:]),
+		Count: binary.BigEndian.Uint16(frame[10:]),
+	}
+	chunkLen := binary.BigEndian.Uint32(frame[12:])
+	if int(chunkLen) != len(frame)-fragHeaderLen {
+		return Fragment{}, fmt.Errorf("%w: chunk length %d vs frame %d",
+			ErrFragHeader, chunkLen, len(frame)-fragHeaderLen)
+	}
+	if f.Count == 0 || f.Index >= f.Count {
+		return Fragment{}, fmt.Errorf("%w: index %d of %d", ErrFragHeader, f.Index, f.Count)
+	}
+	f.Chunk = append([]byte(nil), frame[fragHeaderLen:]...)
+	return f, nil
+}
+
+// Reassembler collects fragments for any number of concurrent messages
+// and yields complete payloads.  It is safe for concurrent use.
+//
+// The progressive-image receive path intentionally consumes prefixes:
+// PartialPayload returns the contiguous prefix received so far, which
+// for prefix-decodable encodings (the wavelet coder) is directly
+// renderable — the mechanism behind "the resolution threshold
+// determines the number of image packets to be received".
+type Reassembler struct {
+	mu      sync.Mutex
+	pending map[uint64]*pendingMsg
+	// MaxPending bounds distinct in-flight messages; 0 means 64.
+	MaxPending int
+}
+
+type pendingMsg struct {
+	count  uint16
+	chunks map[uint16][]byte
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint64]*pendingMsg)}
+}
+
+func (r *Reassembler) maxPending() int {
+	if r.MaxPending <= 0 {
+		return 64
+	}
+	return r.MaxPending
+}
+
+// Add ingests a fragment.  When the fragment completes its message the
+// reassembled payload is returned with done=true and the message's
+// state is released.  Duplicate fragments are ignored.
+func (r *Reassembler) Add(f Fragment) (payload []byte, done bool, err error) {
+	if f.Count == 0 || f.Index >= f.Count {
+		return nil, false, fmt.Errorf("%w: index %d of %d", ErrFragHeader, f.Index, f.Count)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	pm, ok := r.pending[f.MsgID]
+	if !ok {
+		if len(r.pending) >= r.maxPending() {
+			r.evictLocked()
+		}
+		pm = &pendingMsg{count: f.Count, chunks: make(map[uint16][]byte, f.Count)}
+		r.pending[f.MsgID] = pm
+	}
+	if pm.count != f.Count {
+		return nil, false, fmt.Errorf("%w: count %d vs %d for msg %d",
+			ErrFragMismatch, f.Count, pm.count, f.MsgID)
+	}
+	if _, dup := pm.chunks[f.Index]; !dup {
+		pm.chunks[f.Index] = append([]byte(nil), f.Chunk...)
+	}
+	if len(pm.chunks) < int(pm.count) {
+		return nil, false, nil
+	}
+
+	total := 0
+	for _, c := range pm.chunks {
+		total += len(c)
+	}
+	out := make([]byte, 0, total)
+	for i := uint16(0); i < pm.count; i++ {
+		out = append(out, pm.chunks[i]...)
+	}
+	delete(r.pending, f.MsgID)
+	return out, true, nil
+}
+
+// PartialPayload returns the contiguous prefix (fragments 0..k-1)
+// received so far for msgID and the number k of contiguous fragments.
+func (r *Reassembler) PartialPayload(msgID uint64) ([]byte, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pm, ok := r.pending[msgID]
+	if !ok {
+		return nil, 0
+	}
+	var out []byte
+	k := 0
+	for i := uint16(0); i < pm.count; i++ {
+		c, ok := pm.chunks[i]
+		if !ok {
+			break
+		}
+		out = append(out, c...)
+		k++
+	}
+	return out, k
+}
+
+// Pending returns the number of incomplete messages being tracked.
+func (r *Reassembler) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Discard drops any partial state for msgID.
+func (r *Reassembler) Discard(msgID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pending, msgID)
+}
+
+// evictLocked drops the least-complete pending message to bound memory
+// under loss (fragments of abandoned messages would otherwise pin
+// buffers forever).  Ties break on smaller msgID (older senders' IDs
+// are typically smaller).
+func (r *Reassembler) evictLocked() {
+	type cand struct {
+		id       uint64
+		fraction float64
+	}
+	cands := make([]cand, 0, len(r.pending))
+	for id, pm := range r.pending {
+		cands = append(cands, cand{id, float64(len(pm.chunks)) / float64(pm.count)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].fraction != cands[j].fraction {
+			return cands[i].fraction < cands[j].fraction
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > 0 {
+		delete(r.pending, cands[0].id)
+	}
+}

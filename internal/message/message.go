@@ -1,0 +1,137 @@
+// Package message defines the semantic message format exchanged by the
+// publisher/subscriber messaging substrate, its binary wire codec, and
+// fragmentation/reassembly for high-volume payloads.
+//
+// Every message is a state-based multicast message: in addition to the
+// body it carries a sender-specified semantic selector (a propositional
+// expression over profile attributes specifying which clients are to
+// receive it) and a set of descriptive attributes that receivers use to
+// interpret the content under their current constraints (media type,
+// encoding, size, resolution level, ...).
+package message
+
+import (
+	"fmt"
+	"time"
+
+	"adaptiveqos/internal/selector"
+)
+
+// Kind classifies messages on the wire.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindEvent carries an application event (chat line, whiteboard
+	// stroke, image-share announcement) to be replayed at receivers.
+	KindEvent Kind = iota + 1
+	// KindData carries bulk content, typically one fragment of a
+	// progressive image stream.
+	KindData
+	// KindProfile announces a client's profile (used by base stations
+	// and session archival; ordinary matching never needs rosters).
+	KindProfile
+	// KindControl carries framework control traffic (joins, leaves,
+	// power-control requests, concurrency-control grants).
+	KindControl
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindEvent:
+		return "event"
+	case KindData:
+		return "data"
+	case KindProfile:
+		return "profile"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// valid reports whether k is a known kind.
+func (k Kind) valid() bool { return k >= KindEvent && k <= KindControl }
+
+// Message is a semantic message.  Selector source text travels on the
+// wire; receivers compile and evaluate it against their profiles.
+type Message struct {
+	// Kind classifies the message.
+	Kind Kind
+	// Sender is the originating client ID (diagnostics and unicast
+	// relay bookkeeping; never used for matching).
+	Sender string
+	// Seq is a sender-scoped sequence number.
+	Seq uint32
+	// Timestamp is the send time.
+	Timestamp time.Time
+	// Selector is the semantic selector source specifying receiver
+	// profiles.  Empty means "all" (equivalent to "true").
+	Selector string
+	// Attrs describes the content itself; receivers use these for
+	// interpretation and transformation decisions.
+	Attrs selector.Attributes
+	// Body is the payload.
+	Body []byte
+}
+
+// MatchProfile reports whether the message's selector admits the given
+// flattened profile attributes.  An empty or unparsable selector
+// matches nothing except the empty selector, which matches everything
+// (fail-closed on bad selectors: a malformed expression must not leak
+// content to unintended receivers).
+func (m *Message) MatchProfile(flat selector.Attributes) bool {
+	if m.Selector == "" {
+		return true
+	}
+	sel, err := selector.Compile(m.Selector)
+	if err != nil {
+		return false
+	}
+	return sel.Matches(flat)
+}
+
+// Attr returns a content attribute.
+func (m *Message) Attr(name string) (selector.Value, bool) {
+	v, ok := m.Attrs[name]
+	return v, ok
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.Attrs = m.Attrs.Clone()
+	c.Body = append([]byte(nil), m.Body...)
+	return &c
+}
+
+// String renders a compact description for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg(%s from=%s seq=%d sel=%q attrs=%s body=%dB)",
+		m.Kind, m.Sender, m.Seq, m.Selector, m.Attrs, len(m.Body))
+}
+
+// Well-known content attribute names shared by senders and receivers.
+const (
+	// AttrMedia is the media type: "text", "image", "sketch", "speech",
+	// "video", "stroke", ...
+	AttrMedia = "media"
+	// AttrEncoding is the content encoding (e.g. "MPEG2", "JPEG", "ezw").
+	AttrEncoding = "encoding"
+	// AttrSize is the full content size in bytes.
+	AttrSize = "size"
+	// AttrColor marks color (vs. monochrome) visual content.
+	AttrColor = "color"
+	// AttrApp is the originating application ("chat", "whiteboard",
+	// "imageviewer").
+	AttrApp = "app"
+	// AttrObject identifies the shared object the message concerns.
+	AttrObject = "object"
+	// AttrLevel is the progressive refinement level of a data fragment
+	// (0 = sketch/base layer).
+	AttrLevel = "level"
+	// AttrSession names the collaboration session/group.
+	AttrSession = "session"
+)

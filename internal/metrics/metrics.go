@@ -1,0 +1,263 @@
+// Package metrics provides the experiment instrumentation used by the
+// benchmark harness: named series, summaries and fixed-width table
+// rendering so each bench prints the rows/curves the paper's figures
+// plot.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Series is one named curve: ordered (x, y) samples.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the first sample at x (NaN if absent).
+func (s *Series) YAt(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Summary describes a series' y values.
+type Summary struct {
+	Count          int
+	Min, Max, Mean float64
+}
+
+// Summarize computes a summary of the series' y values.
+func (s *Series) Summarize() Summary {
+	if len(s.Y) == 0 {
+		return Summary{}
+	}
+	out := Summary{Count: len(s.Y), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, y := range s.Y {
+		if y < out.Min {
+			out.Min = y
+		}
+		if y > out.Max {
+			out.Max = y
+		}
+		sum += y
+	}
+	out.Mean = sum / float64(len(s.Y))
+	return out
+}
+
+// MonotoneNonIncreasing reports whether y never rises along the series
+// (within tolerance eps) — the shape check used for the Fig 6/7 curves.
+func (s *Series) MonotoneNonIncreasing(eps float64) bool {
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MonotoneNonDecreasing reports whether y never falls along the series.
+func (s *Series) MonotoneNonDecreasing(eps float64) bool {
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1]-eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Table collects series sharing an x axis and renders them as an
+// aligned text table, one row per x value.
+type Table struct {
+	mu     sync.Mutex
+	XLabel string
+	series []*Series
+	byName map[string]*Series
+}
+
+// NewTable creates a table with the given x-axis label.
+func NewTable(xLabel string) *Table {
+	return &Table{XLabel: xLabel, byName: make(map[string]*Series)}
+}
+
+// Series returns (creating on demand) the named series.
+func (t *Table) Series(name string) *Series {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	t.series = append(t.series, s)
+	t.byName[name] = s
+	return s
+}
+
+// Add appends y under the named series at x.
+func (t *Table) Add(name string, x, y float64) {
+	t.Series(name).Add(x, y)
+}
+
+// SeriesNames lists the series in insertion order.
+func (t *Table) SeriesNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, len(t.series))
+	for i, s := range t.series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Render writes the table: a header row, then one row per distinct x
+// in ascending order with each series' value (blank when missing).
+func (t *Table) Render(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	xsSet := make(map[float64]bool)
+	for _, s := range t.series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	cols := make([]string, 0, len(t.series)+1)
+	cols = append(cols, t.XLabel)
+	for _, s := range t.series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 10 {
+			widths[i] = 10
+		}
+	}
+
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		cells := make([]string, 0, len(cols))
+		cells = append(cells, formatNum(x))
+		for _, s := range t.series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				cells = append(cells, "")
+			} else {
+				cells = append(cells, formatNum(y))
+			}
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as comma-separated values with a header
+// row, suitable for plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	xsSet := make(map[float64]bool)
+	for _, s := range t.series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var sb strings.Builder
+	sb.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.series {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(s.Name))
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		sb.WriteString(formatNum(x))
+		for _, s := range t.series {
+			sb.WriteByte(',')
+			if y := s.YAt(x); !math.IsNaN(y) {
+				sb.WriteString(formatNum(y))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return "metrics: render error: " + err.Error()
+	}
+	return sb.String()
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 8)
+	s.Add(3, 8)
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.YAt(2) != 8 {
+		t.Errorf("YAt(2) = %g", s.YAt(2))
+	}
+	if !math.IsNaN(s.YAt(99)) {
+		t.Error("missing x should be NaN")
+	}
+	sum := s.Summarize()
+	if sum.Count != 3 || sum.Min != 8 || sum.Max != 10 || math.Abs(sum.Mean-26.0/3) > 1e-9 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if !s.MonotoneNonIncreasing(0) {
+		t.Error("series is non-increasing")
+	}
+	if s.MonotoneNonDecreasing(0) {
+		t.Error("series is not non-decreasing")
+	}
+	s.Add(4, 9)
+	if s.MonotoneNonIncreasing(0) {
+		t.Error("rise should break monotonicity")
+	}
+	if !s.MonotoneNonIncreasing(1.5) {
+		t.Error("rise within eps should pass")
+	}
+	if (&Series{}).Summarize().Count != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("page-faults")
+	tb.Add("packets", 30, 16)
+	tb.Add("packets", 100, 1)
+	tb.Add("bpp", 30, 2.1)
+	tb.Add("bpp", 100, 0.125)
+	tb.Add("cr", 30, math.Inf(1))
+
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows: %q", out)
+	}
+	if !strings.Contains(lines[0], "page-faults") || !strings.Contains(lines[0], "packets") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "30") || !strings.Contains(lines[1], "16") ||
+		!strings.Contains(lines[1], "2.100") || !strings.Contains(lines[1], "inf") {
+		t.Errorf("row 30: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "100") || !strings.Contains(lines[2], "0.125") {
+		t.Errorf("row 100: %q", lines[2])
+	}
+
+	names := tb.SeriesNames()
+	if len(names) != 3 || names[0] != "packets" || names[2] != "cr" {
+		t.Errorf("names: %v", names)
+	}
+	// Series identity: same name returns same series.
+	tb.Series("packets").Add(50, 8)
+	if tb.Series("packets").Len() != 3 {
+		t.Error("Series should return the same instance")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("x,axis") // comma forces escaping
+	tb.Add("a", 1, 10)
+	tb.Add(`b"q`, 1, 0.5)
+	tb.Add("a", 2, 20)
+
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv: %q", sb.String())
+	}
+	if lines[0] != `"x,axis",a,"b""q"` {
+		t.Errorf("header: %q", lines[0])
+	}
+	if lines[1] != "1,10,0.500" {
+		t.Errorf("row 1: %q", lines[1])
+	}
+	if lines[2] != "2,20," { // missing cell stays empty
+		t.Errorf("row 2: %q", lines[2])
+	}
+}

@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adaptiveqos/internal/selector"
+)
+
+// Constraint bounds a single numeric system or application parameter.
+// A parameter satisfies the constraint when Min <= value <= Max.
+// Unbounded ends use -Inf/+Inf.
+type Constraint struct {
+	// Param is the state attribute name, e.g. "cpu-load" or "bandwidth".
+	Param string
+	// Min and Max bound acceptable values (inclusive).
+	Min, Max float64
+	// Weight expresses the relative importance of the constraint when
+	// the inference engine must trade constraints off; 0 means 1.0.
+	Weight float64
+	// Hard constraints must hold for the contract to be satisfied;
+	// soft constraints only contribute to the satisfaction score.
+	Hard bool
+}
+
+// Validate checks internal consistency.
+func (c Constraint) Validate() error {
+	if c.Param == "" {
+		return fmt.Errorf("profile: constraint with empty parameter name")
+	}
+	if c.Min > c.Max {
+		return fmt.Errorf("profile: constraint %q has min %g > max %g", c.Param, c.Min, c.Max)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("profile: constraint %q has negative weight", c.Param)
+	}
+	return nil
+}
+
+// weight returns the effective weight (default 1).
+func (c Constraint) weight() float64 {
+	if c.Weight == 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// holds reports whether v satisfies the constraint, and a degree of
+// violation in [0, 1] where 0 means satisfied (used for scoring).
+func (c Constraint) holds(v float64) (bool, float64) {
+	if v >= c.Min && v <= c.Max {
+		return true, 0
+	}
+	span := c.Max - c.Min
+	if math.IsInf(span, 1) || span <= 0 {
+		span = math.Max(math.Abs(c.Max), math.Abs(c.Min))
+		if span == 0 || math.IsInf(span, 1) {
+			span = 1
+		}
+	}
+	var excess float64
+	if v < c.Min {
+		excess = c.Min - v
+	} else {
+		excess = v - c.Max
+	}
+	return false, math.Min(1, excess/span)
+}
+
+// Contract is a user-specified QoS contract: the set of constraints on
+// system and application parameters that must be satisfied by the
+// inference engine.  The engine consults the contract together with
+// current state to determine the guarantee it can offer and the amount
+// of information that can be processed.
+type Contract struct {
+	// Name identifies the contract in logs and policies.
+	Name        string
+	Constraints []Constraint
+}
+
+// NewContract builds a validated contract.
+func NewContract(name string, cs ...Constraint) (*Contract, error) {
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]Constraint, len(cs))
+	copy(sorted, cs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Param < sorted[j].Param })
+	return &Contract{Name: name, Constraints: sorted}, nil
+}
+
+// MustContract is NewContract that panics on error.
+func MustContract(name string, cs ...Constraint) *Contract {
+	c, err := NewContract(name, cs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Evaluation is the result of checking a contract against state.
+type Evaluation struct {
+	// Satisfied reports whether every hard constraint holds.
+	Satisfied bool
+	// Score is a weighted satisfaction measure in [0, 1]; 1 means every
+	// constraint (hard and soft) holds.
+	Score float64
+	// Violated lists the parameters of violated constraints, sorted.
+	Violated []string
+	// Missing lists constrained parameters absent from the state, sorted.
+	Missing []string
+}
+
+// Evaluate checks the contract against a state attribute set.  A
+// missing parameter violates its constraint (the engine cannot certify
+// what it cannot observe).
+func (ct *Contract) Evaluate(state selector.Attributes) Evaluation {
+	ev := Evaluation{Satisfied: true, Score: 1}
+	if len(ct.Constraints) == 0 {
+		return ev
+	}
+	var totalW, lostW float64
+	for _, c := range ct.Constraints {
+		w := c.weight()
+		totalW += w
+		v, ok := state[c.Param]
+		if !ok || v.Kind() != selector.KindNumber {
+			ev.Missing = append(ev.Missing, c.Param)
+			ev.Violated = append(ev.Violated, c.Param)
+			lostW += w
+			if c.Hard {
+				ev.Satisfied = false
+			}
+			continue
+		}
+		holds, degree := c.holds(v.Num())
+		if !holds {
+			ev.Violated = append(ev.Violated, c.Param)
+			lostW += w * degree
+			if c.Hard {
+				ev.Satisfied = false
+			}
+		}
+	}
+	sort.Strings(ev.Violated)
+	sort.Strings(ev.Missing)
+	if totalW > 0 {
+		ev.Score = 1 - lostW/totalW
+	}
+	return ev
+}
+
+// String renders the contract for logs.
+func (ct *Contract) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "contract(%s", ct.Name)
+	for _, c := range ct.Constraints {
+		kind := "soft"
+		if c.Hard {
+			kind = "hard"
+		}
+		fmt.Fprintf(&sb, " %s∈[%g,%g]/%s", c.Param, c.Min, c.Max, kind)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

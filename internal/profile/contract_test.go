@@ -1,0 +1,179 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptiveqos/internal/selector"
+)
+
+func TestConstraintValidate(t *testing.T) {
+	cases := []struct {
+		c  Constraint
+		ok bool
+	}{
+		{Constraint{Param: "cpu", Min: 0, Max: 100}, true},
+		{Constraint{Param: "cpu", Min: 0, Max: math.Inf(1)}, true},
+		{Constraint{Param: "", Min: 0, Max: 1}, false},
+		{Constraint{Param: "cpu", Min: 2, Max: 1}, false},
+		{Constraint{Param: "cpu", Min: 0, Max: 1, Weight: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+	if _, err := NewContract("bad", Constraint{Param: "", Min: 0, Max: 1}); err == nil {
+		t.Error("NewContract should reject invalid constraints")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustContract should panic on invalid input")
+		}
+	}()
+	MustContract("bad", Constraint{Param: "x", Min: 3, Max: 1})
+}
+
+func state(pairs ...any) selector.Attributes {
+	a := make(selector.Attributes)
+	for i := 0; i < len(pairs); i += 2 {
+		switch v := pairs[i+1].(type) {
+		case int:
+			a[pairs[i].(string)] = selector.N(float64(v))
+		case float64:
+			a[pairs[i].(string)] = selector.N(v)
+		case string:
+			a[pairs[i].(string)] = selector.S(v)
+		}
+	}
+	return a
+}
+
+func TestContractEvaluate(t *testing.T) {
+	ct := MustContract("qos",
+		Constraint{Param: "cpu-load", Min: 0, Max: 80, Hard: true},
+		Constraint{Param: "bandwidth", Min: 64_000, Max: math.Inf(1), Hard: true},
+		Constraint{Param: "jitter", Min: 0, Max: 50, Weight: 0.5},
+	)
+
+	ev := ct.Evaluate(state("cpu-load", 40, "bandwidth", 1_000_000, "jitter", 10))
+	if !ev.Satisfied || ev.Score != 1 || len(ev.Violated) != 0 {
+		t.Errorf("all-good evaluation = %+v", ev)
+	}
+
+	ev = ct.Evaluate(state("cpu-load", 95, "bandwidth", 1_000_000, "jitter", 10))
+	if ev.Satisfied {
+		t.Error("hard cpu violation should unsatisfy contract")
+	}
+	if len(ev.Violated) != 1 || ev.Violated[0] != "cpu-load" {
+		t.Errorf("Violated = %v", ev.Violated)
+	}
+	if ev.Score >= 1 || ev.Score <= 0 {
+		t.Errorf("score = %g, want in (0,1)", ev.Score)
+	}
+
+	// Soft violation alone keeps the contract satisfied but lowers score.
+	ev = ct.Evaluate(state("cpu-load", 40, "bandwidth", 1_000_000, "jitter", 500))
+	if !ev.Satisfied {
+		t.Error("soft violation must not unsatisfy")
+	}
+	if ev.Score >= 1 {
+		t.Error("soft violation must lower score")
+	}
+
+	// Missing parameter counts as violated (and listed as missing).
+	ev = ct.Evaluate(state("cpu-load", 40, "jitter", 10))
+	if ev.Satisfied {
+		t.Error("missing hard parameter should unsatisfy")
+	}
+	if len(ev.Missing) != 1 || ev.Missing[0] != "bandwidth" {
+		t.Errorf("Missing = %v", ev.Missing)
+	}
+
+	// Non-numeric parameter is treated as missing.
+	ev = ct.Evaluate(state("cpu-load", 40, "bandwidth", "lots", "jitter", 10))
+	if ev.Satisfied || len(ev.Missing) != 1 {
+		t.Errorf("string-valued param evaluation = %+v", ev)
+	}
+
+	empty := MustContract("empty")
+	if ev := empty.Evaluate(nil); !ev.Satisfied || ev.Score != 1 {
+		t.Errorf("empty contract = %+v", ev)
+	}
+
+	if s := ct.String(); !strings.Contains(s, "cpu-load") || !strings.Contains(s, "hard") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestQuickContractScoreBounds: the satisfaction score always lies in
+// [0, 1], and a state satisfying every constraint scores exactly 1.
+func TestQuickContractScoreBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		cs := make([]Constraint, n)
+		st := make(selector.Attributes)
+		inside := true
+		for i := range cs {
+			lo := r.Float64()*200 - 100
+			hi := lo + r.Float64()*100
+			cs[i] = Constraint{
+				Param:  string(rune('a' + i)),
+				Min:    lo,
+				Max:    hi,
+				Weight: r.Float64() * 3,
+				Hard:   r.Intn(2) == 0,
+			}
+			if r.Intn(4) == 0 {
+				// leave the parameter out or push it outside the bounds
+				inside = false
+				if r.Intn(2) == 0 {
+					st[cs[i].Param] = selector.N(hi + 1 + r.Float64()*1000)
+				}
+			} else {
+				st[cs[i].Param] = selector.N(lo + r.Float64()*(hi-lo))
+			}
+		}
+		ct, err := NewContract("q", cs...)
+		if err != nil {
+			return false
+		}
+		ev := ct.Evaluate(st)
+		if ev.Score < 0 || ev.Score > 1 {
+			t.Logf("seed %d: score %g out of range", seed, ev.Score)
+			return false
+		}
+		if inside && (ev.Score != 1 || !ev.Satisfied || len(ev.Violated) != 0) {
+			t.Logf("seed %d: in-bounds state not fully satisfied: %+v", seed, ev)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContractMonotonicity: pushing one parameter further past its
+// bound never raises the score.
+func TestQuickContractMonotonicity(t *testing.T) {
+	ct := MustContract("m",
+		Constraint{Param: "p", Min: 0, Max: 100, Hard: true},
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 100 + r.Float64()*50
+		b := a + r.Float64()*200
+		evA := ct.Evaluate(state("p", a))
+		evB := ct.Evaluate(state("p", b))
+		return evB.Score <= evA.Score+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptiveqos/internal/selector"
+)
+
+// Manager owns a client's profile, serializes mutations, assigns
+// monotonically increasing versions, and notifies watchers of changes.
+// The profile is dynamic: it changes locally to reflect changes in the
+// client (interests, preferences) or in the observed system state.
+type Manager struct {
+	mu       sync.RWMutex
+	p        *Profile
+	watchers map[int]chan *Profile
+	nextID   int
+}
+
+// NewManager creates a manager owning a fresh profile for id.
+func NewManager(id string) *Manager {
+	return &Manager{p: New(id), watchers: make(map[int]chan *Profile)}
+}
+
+// Snapshot returns an immutable deep copy of the current profile.
+func (m *Manager) Snapshot() *Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.p.Clone()
+}
+
+// Version returns the current profile version.
+func (m *Manager) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.p.Version
+}
+
+// Update applies fn to a copy of the profile under the manager's lock,
+// bumps the version, installs the result and notifies watchers.  fn
+// must not retain the profile.
+func (m *Manager) Update(fn func(*Profile)) *Profile {
+	m.mu.Lock()
+	next := m.p.Clone()
+	fn(next)
+	next.ID = m.p.ID // the identity is not mutable
+	next.Version = m.p.Version + 1
+	m.p = next
+	snap := next.Clone()
+	watchers := make([]chan *Profile, 0, len(m.watchers))
+	for _, ch := range m.watchers {
+		watchers = append(watchers, ch)
+	}
+	m.mu.Unlock()
+
+	for _, ch := range watchers {
+		// Non-blocking: a slow watcher drops intermediate versions and
+		// will observe the latest state on its next receive.
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+	return snap
+}
+
+// SetState is a convenience for updating a single state attribute,
+// the most common mutation (driven by the SNMP poll loop).
+func (m *Manager) SetState(name string, v selector.Value) *Profile {
+	return m.Update(func(p *Profile) { p.State[name] = v })
+}
+
+// SetPreference updates a single preference attribute.
+func (m *Manager) SetPreference(name string, v selector.Value) *Profile {
+	return m.Update(func(p *Profile) { p.Preferences[name] = v })
+}
+
+// SetInterest updates a single interest attribute.
+func (m *Manager) SetInterest(name string, v selector.Value) *Profile {
+	return m.Update(func(p *Profile) { p.Interests[name] = v })
+}
+
+// Watch registers a watcher channel that receives profile snapshots
+// after each update.  The returned cancel function unregisters it and
+// closes the channel.  Snapshots may be dropped for slow receivers but
+// the last delivered snapshot is always at least as new as any dropped
+// one at the time of delivery.
+func (m *Manager) Watch() (<-chan *Profile, func()) {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	ch := make(chan *Profile, 4)
+	m.watchers[id] = ch
+	m.mu.Unlock()
+
+	cancel := func() {
+		m.mu.Lock()
+		if _, ok := m.watchers[id]; ok {
+			delete(m.watchers, id)
+			close(ch)
+		}
+		m.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Matches evaluates sel against the current profile.
+func (m *Manager) Matches(sel *selector.Selector) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.p.Matches(sel)
+}
+
+// Registry is a thread-safe collection of profiles indexed by client
+// ID.  The base station uses a Registry to maintain the profiles of all
+// wireless clients connected to it and to answer semantic queries on
+// their behalf.
+type Registry struct {
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{profiles: make(map[string]*Profile)}
+}
+
+// Put installs (or replaces) a profile snapshot.
+func (r *Registry) Put(p *Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profiles[p.ID] = p.Clone()
+}
+
+// Get returns a copy of the profile for id.
+func (r *Registry) Get(id string) (*Profile, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.profiles[id]
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
+}
+
+// Remove deletes the profile for id, reporting whether it was present.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.profiles[id]
+	delete(r.profiles, id)
+	return ok
+}
+
+// Len returns the number of registered profiles.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.profiles)
+}
+
+// IDs returns the registered client IDs in unspecified order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.profiles))
+	for id := range r.profiles {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// MatchAll returns copies of every profile satisfying sel.
+func (r *Registry) MatchAll(sel *selector.Selector) []*Profile {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Profile
+	for _, p := range r.profiles {
+		if p.Matches(sel) {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// UpdateState mutates one state attribute of a registered profile in
+// place (bumping its version) and returns the new snapshot.
+func (r *Registry) UpdateState(id, name string, v selector.Value) (*Profile, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.profiles[id]
+	if !ok {
+		return nil, fmt.Errorf("profile: unknown client %q", id)
+	}
+	next := p.Clone()
+	next.State[name] = v
+	next.Version++
+	r.profiles[id] = next
+	return next.Clone(), nil
+}

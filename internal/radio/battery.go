@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Battery tracking: wireless devices are limited by battery power, and
+// the base station's power management exists largely to conserve it.
+// Each client can carry an energy budget; Drain advances time, and the
+// framework can observe remaining capacity and predicted lifetime.
+
+// SetBattery assigns a client's remaining energy in joules.
+func (c *Channel) SetBattery(id string, joules float64) error {
+	if joules < 0 || math.IsNaN(joules) {
+		return fmt.Errorf("%w: battery %g", ErrBadParam, joules)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.clients[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, id)
+	}
+	cl.Battery = joules
+	cl.hasBattery = true
+	return nil
+}
+
+// Battery returns a client's remaining energy.  Clients without an
+// assigned budget report ok=false (mains powered, effectively).
+func (c *Channel) Battery(id string) (joules float64, ok bool, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cl, found := c.clients[id]
+	if !found {
+		return 0, false, fmt.Errorf("%w: %q", ErrUnknownClient, id)
+	}
+	return cl.Battery, cl.hasBattery, nil
+}
+
+// Drain advances time by dt seconds: every battery-powered client
+// spends TxPower·dt joules (transmit-dominated consumption).  Clients
+// whose battery empties have their transmit power forced to the
+// minimum representable level — they effectively fall silent.  Drain
+// returns the IDs of clients that emptied during this step, sorted.
+func (c *Channel) Drain(dt float64) ([]string, error) {
+	if dt < 0 || math.IsNaN(dt) {
+		return nil, fmt.Errorf("%w: dt %g", ErrBadParam, dt)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var emptied []string
+	for id, cl := range c.clients {
+		if !cl.hasBattery || cl.Battery == 0 {
+			continue
+		}
+		cl.Battery -= cl.Power * dt
+		if cl.Battery <= 0 {
+			cl.Battery = 0
+			cl.Power = minSilentPower
+			emptied = append(emptied, id)
+		}
+	}
+	sortStrings(emptied)
+	return emptied, nil
+}
+
+// minSilentPower is the power assigned to an exhausted client: small
+// enough to be negligible interference, non-zero to keep the SIR
+// arithmetic well-defined.
+const minSilentPower = 1e-9
+
+// Lifetime predicts how many seconds of transmission a client's
+// remaining battery sustains at its current power.
+func (c *Channel) Lifetime(id string) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cl, ok := c.clients[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownClient, id)
+	}
+	if !cl.hasBattery {
+		return math.Inf(1), nil
+	}
+	if cl.Power <= 0 {
+		return math.Inf(1), nil
+	}
+	return cl.Battery / cl.Power, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

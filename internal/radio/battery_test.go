@@ -1,0 +1,115 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBatteryBasics(t *testing.T) {
+	c := NewChannel(Params{})
+	c.Join("a", 50, 2)
+
+	// Mains powered until a battery is assigned.
+	j, ok, err := c.Battery("a")
+	if err != nil || ok || j != 0 {
+		t.Errorf("mains: %g %v %v", j, ok, err)
+	}
+	if lt, err := c.Lifetime("a"); err != nil || !math.IsInf(lt, 1) {
+		t.Errorf("mains lifetime: %g %v", lt, err)
+	}
+
+	if err := c.SetBattery("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBattery("ghost", 1); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("unknown client: %v", err)
+	}
+	if err := c.SetBattery("a", -1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative battery: %v", err)
+	}
+
+	if lt, _ := c.Lifetime("a"); lt != 50 { // 100 J at 2 W
+		t.Errorf("lifetime = %g, want 50", lt)
+	}
+
+	// Draining consumes P·dt.
+	if _, err := c.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	j, ok, _ = c.Battery("a")
+	if !ok || j != 80 {
+		t.Errorf("battery after 10s = %g", j)
+	}
+	if _, err := c.Drain(-1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative dt: %v", err)
+	}
+}
+
+func TestBatteryExhaustionSilencesClient(t *testing.T) {
+	c := NewChannel(Params{})
+	c.Join("loud", 50, 2)
+	c.Join("victim", 60, 1)
+	c.SetBattery("loud", 10) // 5 seconds at 2 W
+
+	sirBefore, _ := c.SIR("victim")
+	emptied, err := c.Drain(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emptied) != 1 || emptied[0] != "loud" {
+		t.Fatalf("emptied: %v", emptied)
+	}
+	cl, _ := c.Get("loud")
+	if cl.Power >= 1e-6 {
+		t.Errorf("exhausted client power = %g", cl.Power)
+	}
+	// The victim's SIR improves dramatically once the interferer dies.
+	sirAfter, _ := c.SIR("victim")
+	if sirAfter <= sirBefore*10 {
+		t.Errorf("victim SIR %g -> %g: interferer not silenced", sirBefore, sirAfter)
+	}
+	// A second drain does not re-empty.
+	emptied, _ = c.Drain(1)
+	if len(emptied) != 0 {
+		t.Errorf("re-emptied: %v", emptied)
+	}
+}
+
+// TestPowerControlExtendsBatteryLife quantifies the paper's battery
+// claim: with the uniform scale-down (SIR-preserving) the same battery
+// sustains transmission proportionally longer.
+func TestPowerControlExtendsBatteryLife(t *testing.T) {
+	lifetime := func(scale float64) float64 {
+		c := NewChannel(Params{})
+		c.Join("a", 50, 2)
+		c.Join("b", 70, 2)
+		c.SetBattery("a", 100)
+		c.SetBattery("b", 100)
+		if scale != 1 {
+			if err := c.ScaleAllPowers(scale); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// SIR must be unchanged by the scaling (the no-free-lunch check).
+		steps := 0.0
+		for {
+			emptied, err := c.Drain(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if len(emptied) > 0 {
+				return steps
+			}
+			if steps > 1000 {
+				t.Fatal("battery never emptied")
+			}
+		}
+	}
+	full := lifetime(1)
+	halved := lifetime(0.5)
+	if halved < full*1.8 {
+		t.Errorf("lifetime at half power = %g steps vs %g: expected ~2x", halved, full)
+	}
+}

@@ -1,0 +1,31 @@
+package radio_test
+
+import (
+	"fmt"
+
+	"adaptiveqos/internal/radio"
+)
+
+// SIR at the base station follows the paper's eq. 1: interference from
+// other clients dominates as the cell fills, and the modality tier the
+// BS can forward degrades with it.
+func Example() {
+	ch := radio.NewChannel(radio.Params{})
+	th := radio.DefaultThresholds()
+
+	ch.Join("A", 60, 1)
+	db, _ := ch.SIRdB("A")
+	fmt.Printf("alone:        %5.1f dB → %s\n", db, th.TierFor(db))
+
+	ch.Join("B", 40, 1.5)
+	db, _ = ch.SIRdB("A")
+	fmt.Printf("one rival:    %5.1f dB → %s\n", db, th.TierFor(db))
+
+	ch.Join("C", 50, 1.5)
+	db, _ = ch.SIRdB("A")
+	fmt.Printf("two rivals:   %5.1f dB → %s\n", db, th.TierFor(db))
+	// Output:
+	// alone:         46.7 dB → full-image
+	// one rival:     -7.0 dB → none
+	// two rivals:    -8.8 dB → none
+}

@@ -1,0 +1,96 @@
+// Package rtp implements the thin RTP/RTCP-style layer the framework
+// builds on top of UDP multicast to provide limited in-order delivery
+// assurance: sequence numbers and timestamps on data packets, a
+// reordering receiver with bounded buffering, and RTCP-style sender
+// and receiver reports carrying loss fraction and interarrival jitter.
+//
+// Reliable, ordered delivery of image packets is critical for
+// successful reconstruction at remote clients; this layer restores
+// ordering and surfaces loss so the QoS machinery can adapt, without
+// retransmission (collaboration is real-time: late data is stale data).
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// HeaderLen is the fixed packet header size in bytes.
+const HeaderLen = 12
+
+// Version is the protocol version carried in every packet.
+const Version = 2
+
+// Packet errors.
+var (
+	ErrShort   = errors.New("rtp: packet shorter than header")
+	ErrVersion = errors.New("rtp: unsupported version")
+)
+
+// Packet is an RTP-style data packet.
+type Packet struct {
+	// PayloadType identifies the payload encoding (application-defined).
+	PayloadType uint8
+	// Marker flags application-significant boundaries (e.g. the last
+	// packet of an image refinement level).
+	Marker bool
+	// Seq is the per-SSRC sequence number; it wraps modulo 2^16.
+	Seq uint16
+	// Timestamp is the media timestamp in sender clock units.
+	Timestamp uint32
+	// SSRC identifies the synchronization source (one per sender stream).
+	SSRC uint32
+	// Payload is the application data.
+	Payload []byte
+}
+
+// Marshal encodes the packet.
+//
+// Header layout (big-endian), a simplified RFC 3550 fixed header with
+// no CSRC list or extensions:
+//
+//	byte 0: version(2 bits)=2, padding=0, extension=0, cc=0
+//	byte 1: marker(1 bit) | payload type(7 bits)
+//	bytes 2-3: sequence number
+//	bytes 4-7: timestamp
+//	bytes 8-11: SSRC
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, HeaderLen+len(p.Payload))
+	buf[0] = Version << 6
+	buf[1] = p.PayloadType & 0x7F
+	if p.Marker {
+		buf[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(buf[2:], p.Seq)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+	copy(buf[HeaderLen:], p.Payload)
+	return buf
+}
+
+// Unmarshal decodes a packet frame.
+func Unmarshal(frame []byte) (Packet, error) {
+	if len(frame) < HeaderLen {
+		return Packet{}, ErrShort
+	}
+	if frame[0]>>6 != Version {
+		return Packet{}, ErrVersion
+	}
+	return Packet{
+		PayloadType: frame[1] & 0x7F,
+		Marker:      frame[1]&0x80 != 0,
+		Seq:         binary.BigEndian.Uint16(frame[2:]),
+		Timestamp:   binary.BigEndian.Uint32(frame[4:]),
+		SSRC:        binary.BigEndian.Uint32(frame[8:]),
+		Payload:     append([]byte(nil), frame[HeaderLen:]...),
+	}, nil
+}
+
+// SeqLess reports whether sequence number a precedes b in modular
+// (RFC 1982 serial number) order, tolerating wraparound.
+func SeqLess(a, b uint16) bool {
+	return a != b && b-a < 1<<15
+}
+
+// SeqDiff returns the forward distance from a to b modulo 2^16.
+func SeqDiff(a, b uint16) uint16 { return b - a }

@@ -1,0 +1,222 @@
+package rtp
+
+import (
+	"sort"
+	"sync"
+)
+
+// Receiver restores sequence order for one SSRC with a bounded reorder
+// buffer, providing the substrate's "limited in-order delivery
+// assurance": packets are released strictly in sequence order; a gap
+// is waited out only while the buffer holds fewer than Window packets,
+// after which the missing packets are declared lost and delivery skips
+// past them.  There is no retransmission.
+//
+// Receiver also accumulates RFC 3550-style reception statistics
+// (expected vs. received counts, interarrival jitter) for RTCP
+// receiver reports.
+type Receiver struct {
+	mu sync.Mutex
+
+	window  int
+	started bool
+	next    uint16 // next sequence number to release
+
+	// buffered out-of-order packets keyed by seq
+	buf map[uint16]Packet
+
+	// statistics
+	baseSeq      uint16
+	maxSeq       uint16
+	cycles       uint32 // seq wrap count (shifted by 16 in extended seq)
+	received     uint64
+	lost         uint64
+	dup          uint64
+	late         uint64
+	jitter       float64 // RFC 3550 interarrival jitter estimate
+	lastTransit  int64
+	haveTransit  bool
+	expectedPrev uint64
+	receivedPrev uint64
+}
+
+// NewReceiver creates a receiver with the given reorder window
+// (maximum number of buffered out-of-order packets; minimum 1).
+func NewReceiver(window int) *Receiver {
+	if window < 1 {
+		window = 1
+	}
+	return &Receiver{window: window, buf: make(map[uint16]Packet)}
+}
+
+// Push ingests a packet and returns the packets now deliverable in
+// order (possibly none, possibly several).  arrival and the packet
+// timestamp are in the same clock units and feed the jitter estimate.
+func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if !r.started {
+		r.started = true
+		r.next = p.Seq
+		r.baseSeq = p.Seq
+		r.maxSeq = p.Seq
+	}
+
+	r.updateStatsLocked(p, arrival)
+
+	// Late or duplicate: seq strictly before the release point.
+	if SeqLess(p.Seq, r.next) {
+		r.late++
+		return nil
+	}
+	if _, ok := r.buf[p.Seq]; ok {
+		r.dup++
+		return nil
+	}
+	r.buf[p.Seq] = p
+
+	var out []Packet
+	// Release the contiguous run starting at next.
+	for {
+		q, ok := r.buf[r.next]
+		if !ok {
+			break
+		}
+		delete(r.buf, r.next)
+		out = append(out, q)
+		r.next++
+	}
+	// Window overflow: skip the smallest gap(s) and release what we can.
+	for len(r.buf) >= r.window {
+		seqs := make([]uint16, 0, len(r.buf))
+		for s := range r.buf {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
+		skipped := SeqDiff(r.next, seqs[0])
+		r.lost += uint64(skipped)
+		r.next = seqs[0]
+		for {
+			q, ok := r.buf[r.next]
+			if !ok {
+				break
+			}
+			delete(r.buf, r.next)
+			out = append(out, q)
+			r.next++
+		}
+	}
+	return out
+}
+
+// Flush releases every buffered packet in sequence order, counting the
+// gaps as lost.  Use at end of stream.
+func (r *Receiver) Flush() []Packet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return nil
+	}
+	seqs := make([]uint16, 0, len(r.buf))
+	for s := range r.buf {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
+	out := make([]Packet, 0, len(seqs))
+	for _, s := range seqs {
+		r.lost += uint64(SeqDiff(r.next, s))
+		out = append(out, r.buf[s])
+		delete(r.buf, s)
+		r.next = s + 1
+	}
+	return out
+}
+
+func (r *Receiver) updateStatsLocked(p Packet, arrival uint32) {
+	r.received++
+	// Extended sequence tracking (wrap detection).
+	if SeqLess(r.maxSeq, p.Seq) {
+		if p.Seq < r.maxSeq { // wrapped
+			r.cycles++
+		}
+		r.maxSeq = p.Seq
+	}
+	// RFC 3550 interarrival jitter: J += (|D| - J) / 16.
+	transit := int64(arrival) - int64(p.Timestamp)
+	if r.haveTransit {
+		d := transit - r.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		r.jitter += (float64(d) - r.jitter) / 16
+	}
+	r.lastTransit = transit
+	r.haveTransit = true
+}
+
+// Stats is a snapshot of reception statistics.
+type Stats struct {
+	Received   uint64
+	Lost       uint64 // declared lost by window skips/flush
+	Duplicates uint64
+	Late       uint64
+	Buffered   int
+	Jitter     float64
+	// ExpectedTotal is the extended-sequence-number-based expected
+	// packet count since the first packet.
+	ExpectedTotal uint64
+}
+
+// Snapshot returns current statistics.
+func (r *Receiver) Snapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Received:      r.received,
+		Lost:          r.lost,
+		Duplicates:    r.dup,
+		Late:          r.late,
+		Buffered:      len(r.buf),
+		Jitter:        r.jitter,
+		ExpectedTotal: r.expectedLocked(),
+	}
+}
+
+func (r *Receiver) expectedLocked() uint64 {
+	if !r.started {
+		return 0
+	}
+	extMax := uint64(r.cycles)<<16 | uint64(r.maxSeq)
+	extBase := uint64(r.baseSeq)
+	return extMax - extBase + 1
+}
+
+// Report builds an RTCP-style receiver report block.  The fraction
+// lost covers the interval since the previous Report call, per RFC
+// 3550's expected/received interval accounting.
+func (r *Receiver) Report(ssrc uint32) ReceiverReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	expected := r.expectedLocked()
+	expInt := expected - r.expectedPrev
+	recvInt := r.received - r.receivedPrev
+	r.expectedPrev = expected
+	r.receivedPrev = r.received
+
+	var frac float64
+	if expInt > 0 && expInt > recvInt {
+		frac = float64(expInt-recvInt) / float64(expInt)
+	}
+	var cumLost int64
+	if expected > r.received {
+		cumLost = int64(expected - r.received)
+	}
+	return ReceiverReport{
+		SSRC:         ssrc,
+		FractionLost: frac,
+		CumLost:      cumLost,
+		HighestSeq:   uint32(r.cycles)<<16 | uint32(r.maxSeq),
+		Jitter:       uint32(r.jitter),
+	}
+}

@@ -1,0 +1,380 @@
+package rtp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	p := Packet{
+		PayloadType: 96,
+		Marker:      true,
+		Seq:         65534,
+		Timestamp:   123456789,
+		SSRC:        0xDEADBEEF,
+		Payload:     []byte("image packet"),
+	}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadType != p.PayloadType || got.Marker != p.Marker ||
+		got.Seq != p.Seq || got.Timestamp != p.Timestamp ||
+		got.SSRC != p.SSRC || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderLen-1)); !errors.Is(err, ErrShort) {
+		t.Errorf("short: %v", err)
+	}
+	bad := (&Packet{}).Marshal()
+	bad[0] = 0 // version 0
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("version: %v", err)
+	}
+}
+
+func TestSeqLess(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{65535, 0, true},  // wrap
+		{0, 65535, false}, // wrap, other direction
+		{0, 32767, true},
+		{0, 32768, false}, // exactly half the space: "not less"
+		{40000, 200, true},
+	}
+	for _, tc := range cases {
+		if got := SeqLess(tc.a, tc.b); got != tc.want {
+			t.Errorf("SeqLess(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if SeqDiff(65534, 2) != 4 {
+		t.Errorf("SeqDiff wrap = %d, want 4", SeqDiff(65534, 2))
+	}
+}
+
+func pkt(seq uint16, ts uint32) Packet {
+	return Packet{Seq: seq, Timestamp: ts, Payload: []byte{byte(seq)}}
+}
+
+func TestReceiverInOrder(t *testing.T) {
+	r := NewReceiver(16)
+	for s := uint16(100); s < 110; s++ {
+		out := r.Push(pkt(s, uint32(s)), uint32(s))
+		if len(out) != 1 || out[0].Seq != s {
+			t.Fatalf("seq %d: released %v", s, out)
+		}
+	}
+	st := r.Snapshot()
+	if st.Received != 10 || st.Lost != 0 || st.Duplicates != 0 || st.Buffered != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.ExpectedTotal != 10 {
+		t.Errorf("expected = %d, want 10", st.ExpectedTotal)
+	}
+}
+
+func TestReceiverReorders(t *testing.T) {
+	r := NewReceiver(16)
+	if out := r.Push(pkt(1, 1), 1); len(out) != 1 {
+		t.Fatal("first packet should release immediately")
+	}
+	if out := r.Push(pkt(3, 3), 3); len(out) != 0 {
+		t.Fatal("gap: packet 3 must wait for 2")
+	}
+	if out := r.Push(pkt(4, 4), 4); len(out) != 0 {
+		t.Fatal("gap persists")
+	}
+	out := r.Push(pkt(2, 2), 2)
+	if len(out) != 3 || out[0].Seq != 2 || out[1].Seq != 3 || out[2].Seq != 4 {
+		t.Fatalf("gap fill released %v", out)
+	}
+}
+
+func TestReceiverWindowSkip(t *testing.T) {
+	r := NewReceiver(3)
+	r.Push(pkt(0, 0), 0)
+	// Lose packet 1; buffer 2,3,4 → on the 3rd buffered packet the
+	// window is full and the receiver skips the gap.
+	if out := r.Push(pkt(2, 2), 2); len(out) != 0 {
+		t.Fatal("2 must wait")
+	}
+	if out := r.Push(pkt(3, 3), 3); len(out) != 0 {
+		t.Fatal("3 must wait")
+	}
+	out := r.Push(pkt(4, 4), 4)
+	if len(out) != 3 || out[0].Seq != 2 || out[2].Seq != 4 {
+		t.Fatalf("window skip released %v", out)
+	}
+	st := r.Snapshot()
+	if st.Lost != 1 {
+		t.Errorf("lost = %d, want 1", st.Lost)
+	}
+	// Ordering resumes normally after the skip.
+	if out := r.Push(pkt(5, 5), 5); len(out) != 1 || out[0].Seq != 5 {
+		t.Fatalf("post-skip release %v", out)
+	}
+}
+
+func TestReceiverDuplicatesAndLate(t *testing.T) {
+	r := NewReceiver(8)
+	r.Push(pkt(10, 10), 10)
+	r.Push(pkt(11, 11), 11)
+	if out := r.Push(pkt(10, 10), 12); len(out) != 0 {
+		t.Fatal("late packet must not be released")
+	}
+	r.Push(pkt(13, 13), 13) // buffered
+	if out := r.Push(pkt(13, 13), 14); len(out) != 0 {
+		t.Fatal("duplicate buffered packet must be ignored")
+	}
+	st := r.Snapshot()
+	if st.Late != 1 {
+		t.Errorf("late = %d, want 1", st.Late)
+	}
+	if st.Duplicates != 1 {
+		t.Errorf("dups = %d, want 1", st.Duplicates)
+	}
+}
+
+func TestReceiverWrapAround(t *testing.T) {
+	r := NewReceiver(16)
+	seqs := []uint16{65533, 65534, 65535, 0, 1, 2}
+	for i, s := range seqs {
+		out := r.Push(pkt(s, uint32(i)), uint32(i))
+		if len(out) != 1 || out[0].Seq != s {
+			t.Fatalf("wrap at seq %d: released %v", s, out)
+		}
+	}
+	st := r.Snapshot()
+	if st.ExpectedTotal != uint64(len(seqs)) {
+		t.Errorf("expected across wrap = %d, want %d", st.ExpectedTotal, len(seqs))
+	}
+	if st.Lost != 0 {
+		t.Errorf("lost across wrap = %d", st.Lost)
+	}
+}
+
+func TestReceiverFlush(t *testing.T) {
+	r := NewReceiver(16)
+	r.Push(pkt(0, 0), 0)
+	r.Push(pkt(2, 2), 2)
+	r.Push(pkt(5, 5), 5)
+	out := r.Flush()
+	if len(out) != 2 || out[0].Seq != 2 || out[1].Seq != 5 {
+		t.Fatalf("flush released %v", out)
+	}
+	if st := r.Snapshot(); st.Lost != 3 { // seqs 1, 3, 4
+		t.Errorf("lost after flush = %d, want 3", st.Lost)
+	}
+	if out := r.Flush(); out != nil {
+		t.Error("second flush should release nothing")
+	}
+}
+
+func TestReceiverJitter(t *testing.T) {
+	r := NewReceiver(4)
+	// Constant transit: zero jitter.
+	for s := uint16(0); s < 20; s++ {
+		r.Push(pkt(s, uint32(s)*100), uint32(s)*100+7)
+	}
+	if j := r.Snapshot().Jitter; j != 0 {
+		t.Errorf("constant-transit jitter = %g, want 0", j)
+	}
+	// Variable transit: jitter grows.
+	r2 := NewReceiver(4)
+	arr := uint32(0)
+	rng := rand.New(rand.NewSource(5))
+	for s := uint16(0); s < 50; s++ {
+		arr += 100 + uint32(rng.Intn(40))
+		r2.Push(pkt(s, uint32(s)*100), arr)
+	}
+	if j := r2.Snapshot().Jitter; j <= 0 {
+		t.Errorf("variable-transit jitter = %g, want > 0", j)
+	}
+}
+
+func TestReceiverReportIntervals(t *testing.T) {
+	r := NewReceiver(4)
+	// 10 sent, lose seq 3 and 7 by skipping them past the window.
+	for s := uint16(0); s < 10; s++ {
+		if s == 3 || s == 7 {
+			continue
+		}
+		r.Push(pkt(s, uint32(s)), uint32(s))
+	}
+	r.Flush()
+	rr := r.Report(77)
+	if rr.SSRC != 77 {
+		t.Errorf("ssrc = %d", rr.SSRC)
+	}
+	if rr.CumLost != 2 {
+		t.Errorf("cumLost = %d, want 2", rr.CumLost)
+	}
+	if rr.FractionLost <= 0 || rr.FractionLost > 0.5 {
+		t.Errorf("fractionLost = %g", rr.FractionLost)
+	}
+	// A second report over an empty interval reports no new loss.
+	rr2 := r.Report(77)
+	if rr2.FractionLost != 0 {
+		t.Errorf("idle-interval fractionLost = %g, want 0", rr2.FractionLost)
+	}
+	if rr2.CumLost != 2 {
+		t.Errorf("cumulative loss must persist: %d", rr2.CumLost)
+	}
+}
+
+func TestRTCPMarshalRoundTrip(t *testing.T) {
+	sr := &SenderReport{SSRC: 1, Timestamp: 2, PacketCount: 3, OctetCount: 4}
+	got, err := UnmarshalReport(sr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := got.(*SenderReport); !ok || *g != *sr {
+		t.Errorf("sender report: %+v", got)
+	}
+
+	rr := &ReceiverReport{SSRC: 9, FractionLost: 0.25, CumLost: 1000, HighestSeq: 70000, Jitter: 33}
+	got, err = UnmarshalReport(rr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := got.(*ReceiverReport)
+	if !ok {
+		t.Fatalf("receiver report type: %T", got)
+	}
+	if g.SSRC != rr.SSRC || g.CumLost != rr.CumLost || g.HighestSeq != rr.HighestSeq || g.Jitter != rr.Jitter {
+		t.Errorf("receiver report: %+v vs %+v", g, rr)
+	}
+	if diff := g.FractionLost - rr.FractionLost; diff > 0.01 || diff < -0.01 {
+		t.Errorf("fraction lost quantization: %g vs %g", g.FractionLost, rr.FractionLost)
+	}
+
+	// Saturation of out-of-range fields.
+	rr2 := &ReceiverReport{FractionLost: 3.0, CumLost: 1 << 30}
+	got, _ = UnmarshalReport(rr2.Marshal())
+	g = got.(*ReceiverReport)
+	if g.FractionLost != 1 || g.CumLost != (1<<24)-1 {
+		t.Errorf("saturation: %+v", g)
+	}
+
+	for _, bad := range [][]byte{nil, {0x80}, {Version << 6, 99, 0}, (&SenderReport{}).Marshal()[:10]} {
+		if _, err := UnmarshalReport(bad); err == nil {
+			t.Errorf("bad report %v decoded", bad)
+		}
+	}
+}
+
+func TestSender(t *testing.T) {
+	s := NewSender(42, 96, 65534)
+	p1 := s.Next(100, false, []byte("abc"))
+	p2 := s.Next(200, true, []byte("defg"))
+	p3 := s.Next(300, false, nil)
+	if p1.Seq != 65534 || p2.Seq != 65535 || p3.Seq != 0 {
+		t.Errorf("seq progression: %d %d %d", p1.Seq, p2.Seq, p3.Seq)
+	}
+	if p1.SSRC != 42 || p1.PayloadType != 96 || p2.Marker != true {
+		t.Errorf("fields: %+v %+v", p1, p2)
+	}
+	sr := s.Report(400)
+	if sr.PacketCount != 3 || sr.OctetCount != 7 || sr.Timestamp != 400 {
+		t.Errorf("sender report: %+v", sr)
+	}
+}
+
+// TestQuickReceiverDeliversInOrder: under arbitrary reordering within
+// the window and random loss, released packets are strictly in
+// sequence order and no packet is released twice.
+func TestQuickReceiverDeliversInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := 2 + rng.Intn(16)
+		r := NewReceiver(window)
+		n := 50 + rng.Intn(200)
+
+		// Build a stream with loss, then shuffle locally.
+		var stream []Packet
+		for s := 0; s < n; s++ {
+			if rng.Float64() < 0.1 {
+				continue // lost
+			}
+			stream = append(stream, pkt(uint16(s), uint32(s)))
+		}
+		// Local shuffle: swap within distance window/2.
+		for i := range stream {
+			j := i + rng.Intn(window/2+1)
+			if j < len(stream) {
+				stream[i], stream[j] = stream[j], stream[i]
+			}
+		}
+
+		seen := make(map[uint16]bool)
+		last := -1
+		check := func(out []Packet) bool {
+			for _, p := range out {
+				if seen[p.Seq] {
+					t.Logf("seed %d: packet %d released twice", seed, p.Seq)
+					return false
+				}
+				seen[p.Seq] = true
+				if int(p.Seq) <= last {
+					t.Logf("seed %d: out of order release %d after %d", seed, p.Seq, last)
+					return false
+				}
+				last = int(p.Seq)
+			}
+			return true
+		}
+		for i, p := range stream {
+			if !check(r.Push(p, uint32(i))) {
+				return false
+			}
+		}
+		if !check(r.Flush()) {
+			return false
+		}
+		// Every pushed packet was released exactly once, except those the
+		// protocol legitimately dropped: packets arriving after a window
+		// skip advanced the release point past them (late), and duplicates.
+		st := r.Snapshot()
+		if uint64(len(seen))+st.Late+st.Duplicates != uint64(len(stream)) {
+			t.Logf("seed %d: released %d + late %d + dup %d != pushed %d",
+				seed, len(seen), st.Late, st.Duplicates, len(stream))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPacketRoundTrip: arbitrary packets survive marshal/unmarshal.
+func TestQuickPacketRoundTrip(t *testing.T) {
+	f := func(pt uint8, marker bool, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		p := Packet{
+			PayloadType: pt & 0x7F,
+			Marker:      marker,
+			Seq:         seq,
+			Timestamp:   ts,
+			SSRC:        ssrc,
+			Payload:     payload,
+		}
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && got.PayloadType == p.PayloadType && got.Marker == p.Marker &&
+			got.Seq == p.Seq && got.Timestamp == p.Timestamp && got.SSRC == p.SSRC &&
+			bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package selector_test
+
+import (
+	"fmt"
+
+	"adaptiveqos/internal/selector"
+)
+
+// A message's semantic selector names its receivers descriptively; any
+// client whose profile satisfies the expression accepts the message.
+func ExampleSelector_Matches() {
+	sel := selector.MustCompile(
+		`media == "video" and encoding in ["MPEG2", "JPEG"] and size <= 1048576`)
+
+	jpegClient := selector.Attributes{
+		"media":    selector.S("video"),
+		"encoding": selector.S("JPEG"),
+		"size":     selector.N(500_000),
+	}
+	textClient := selector.Attributes{
+		"media": selector.S("text"),
+	}
+
+	fmt.Println(sel.Matches(jpegClient))
+	fmt.Println(sel.Matches(textClient))
+	// Output:
+	// true
+	// false
+}
+
+// Parse returns the expression tree; Format renders the canonical form.
+func ExampleParse() {
+	expr, err := selector.Parse(`a==1 && (b=="x" || not exists(c))`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(selector.Format(expr))
+	// Output:
+	// a == 1 and (b == "x" or not exists(c))
+}

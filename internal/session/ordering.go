@@ -1,0 +1,86 @@
+package session
+
+import "sync"
+
+// OrderBuffer restores the session's total event order at a replica:
+// events arrive over the multicast substrate in arbitrary order (per
+// sender) but carry the coordinator-assigned sequence number; the
+// buffer releases them strictly in sequence.  Unlike the RTP reorder
+// buffer there is no skipping — session events are not loss-tolerant,
+// and the replica instead requests history for persistent gaps.
+type OrderBuffer struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]Event
+}
+
+// NewOrderBuffer creates a buffer expecting sequence numbers starting
+// at afterSeq+1 (pass a session's LastSeq at join time, or 0 for a
+// fresh session).
+func NewOrderBuffer(afterSeq uint64) *OrderBuffer {
+	return &OrderBuffer{next: afterSeq + 1, pending: make(map[uint64]Event)}
+}
+
+// Push ingests an event and returns the events now releasable in
+// order.  Duplicates and already-released events are ignored.
+func (b *OrderBuffer) Push(ev Event) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ev.Seq < b.next {
+		return nil
+	}
+	b.pending[ev.Seq] = ev
+	var out []Event
+	for {
+		next, ok := b.pending[b.next]
+		if !ok {
+			break
+		}
+		delete(b.pending, b.next)
+		out = append(out, next)
+		b.next++
+	}
+	return out
+}
+
+// Gap reports the first missing sequence number the buffer is waiting
+// for and how many events are parked behind it.
+func (b *OrderBuffer) Gap() (waitingFor uint64, parked int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next, len(b.pending)
+}
+
+// LamportClock provides causal timestamps for the distributed (peer)
+// configuration, where no single coordinator assigns sequence numbers.
+type LamportClock struct {
+	mu   sync.Mutex
+	time uint64
+}
+
+// Tick advances the clock for a local event and returns its timestamp.
+func (c *LamportClock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.time++
+	return c.time
+}
+
+// Witness merges a remote timestamp (receive rule) and returns the
+// updated local time.
+func (c *LamportClock) Witness(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.time {
+		c.time = remote
+	}
+	c.time++
+	return c.time
+}
+
+// Now returns the current time without advancing it.
+func (c *LamportClock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.time
+}

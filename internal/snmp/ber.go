@@ -1,0 +1,198 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BER tag bytes for the ASN.1 subset SNMP uses.
+const (
+	tagInteger      = 0x02
+	tagOctetString  = 0x04
+	tagNull         = 0x05
+	tagOID          = 0x06
+	tagSequence     = 0x30
+	tagIPAddress    = 0x40
+	tagCounter32    = 0x41
+	tagGauge32      = 0x42
+	tagTimeTicks    = 0x43
+	tagOpaque       = 0x44
+	tagCounter64    = 0x46
+	tagNoSuchObject = 0x80
+	tagNoSuchInst   = 0x81
+	tagEndOfMibView = 0x82
+	tagGetRequest   = 0xA0
+	tagGetNext      = 0xA1
+	tagGetResponse  = 0xA2
+	tagSetRequest   = 0xA3
+	tagTrapV1       = 0xA4
+	tagGetBulk      = 0xA5
+	tagInform       = 0xA6
+	tagTrapV2       = 0xA7
+)
+
+// BER errors.
+var (
+	ErrBERTruncated = errors.New("snmp: truncated BER element")
+	ErrBERLength    = errors.New("snmp: invalid BER length")
+	ErrBERTag       = errors.New("snmp: unexpected BER tag")
+	ErrBERInteger   = errors.New("snmp: invalid BER integer")
+)
+
+// appendTLV appends tag | length | content.
+func appendTLV(out []byte, tag byte, content []byte) []byte {
+	out = append(out, tag)
+	out = appendLength(out, len(content))
+	return append(out, content...)
+}
+
+// appendLength appends a BER length (short or long form).
+func appendLength(out []byte, n int) []byte {
+	if n < 0x80 {
+		return append(out, byte(n))
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	out = append(out, byte(0x80|(len(tmp)-i)))
+	return append(out, tmp[i:]...)
+}
+
+// appendInt appends a two's-complement INTEGER with the given tag.
+func appendInt(out []byte, tag byte, v int64) []byte {
+	var content []byte
+	switch {
+	case v == 0:
+		content = []byte{0}
+	default:
+		// Minimal two's-complement encoding.
+		n := 8
+		for n > 1 {
+			top := byte(v >> ((n - 1) * 8))
+			next := byte(v >> ((n - 2) * 8))
+			if (top == 0x00 && next&0x80 == 0) || (top == 0xFF && next&0x80 != 0) {
+				n--
+				continue
+			}
+			break
+		}
+		content = make([]byte, n)
+		for i := 0; i < n; i++ {
+			content[i] = byte(v >> ((n - 1 - i) * 8))
+		}
+	}
+	return appendTLV(out, tag, content)
+}
+
+// appendUint appends an unsigned integer (Counter32/Gauge32/TimeTicks/
+// Counter64) with the given tag: minimal bytes plus a leading zero if
+// the top bit is set (BER integers are signed).
+func appendUint(out []byte, tag byte, v uint64) []byte {
+	var tmp [9]byte
+	i := len(tmp)
+	if v == 0 {
+		i--
+		tmp[i] = 0
+	}
+	for v > 0 {
+		i--
+		tmp[i] = byte(v)
+		v >>= 8
+	}
+	if tmp[i]&0x80 != 0 {
+		i--
+		tmp[i] = 0
+	}
+	return appendTLV(out, tag, tmp[i:])
+}
+
+// berReader walks a BER byte stream.
+type berReader struct {
+	buf []byte
+	off int
+}
+
+// readTLV reads one element, returning its tag and content slice
+// (aliasing the input).
+func (r *berReader) readTLV() (tag byte, content []byte, err error) {
+	if r.off >= len(r.buf) {
+		return 0, nil, ErrBERTruncated
+	}
+	tag = r.buf[r.off]
+	r.off++
+	if r.off >= len(r.buf) {
+		return 0, nil, ErrBERTruncated
+	}
+	l := int(r.buf[r.off])
+	r.off++
+	if l >= 0x80 {
+		nbytes := l & 0x7F
+		if nbytes == 0 || nbytes > 4 {
+			return 0, nil, fmt.Errorf("%w: %d length octets", ErrBERLength, nbytes)
+		}
+		if r.off+nbytes > len(r.buf) {
+			return 0, nil, ErrBERTruncated
+		}
+		l = 0
+		for i := 0; i < nbytes; i++ {
+			l = l<<8 | int(r.buf[r.off])
+			r.off++
+		}
+		if l < 0x80 && nbytes > 1 {
+			// tolerated: non-minimal long form
+		}
+	}
+	if l < 0 || r.off+l > len(r.buf) {
+		return 0, nil, ErrBERTruncated
+	}
+	content = r.buf[r.off : r.off+l]
+	r.off += l
+	return tag, content, nil
+}
+
+// expect reads one element and verifies its tag.
+func (r *berReader) expect(tag byte) ([]byte, error) {
+	got, content, err := r.readTLV()
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("%w: got 0x%02X, want 0x%02X", ErrBERTag, got, tag)
+	}
+	return content, nil
+}
+
+// done reports whether the reader has consumed its buffer.
+func (r *berReader) done() bool { return r.off >= len(r.buf) }
+
+// parseInt decodes two's-complement INTEGER content.
+func parseInt(content []byte) (int64, error) {
+	if len(content) == 0 || len(content) > 8 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBERInteger, len(content))
+	}
+	v := int64(int8(content[0])) // sign-extend
+	for _, b := range content[1:] {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+// parseUint decodes unsigned integer content (possibly with a leading
+// zero pad octet).
+func parseUint(content []byte) (uint64, error) {
+	if len(content) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrBERInteger)
+	}
+	if len(content) > 9 || (len(content) == 9 && content[0] != 0) {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBERInteger, len(content))
+	}
+	var v uint64
+	for _, b := range content {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}

@@ -1,0 +1,291 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RoundTripper transports one encoded SNMP request frame and returns
+// the encoded response frame.  Implementations exist over UDP
+// (UDPRoundTripper) and in-process against an Agent (AgentRoundTripper).
+type RoundTripper interface {
+	RoundTrip(request []byte) (response []byte, err error)
+}
+
+// Client errors.
+var (
+	ErrTimeout    = errors.New("snmp: request timed out")
+	ErrRequestID  = errors.New("snmp: response request-id mismatch")
+	ErrPDUError   = errors.New("snmp: agent returned error status")
+	ErrShortReply = errors.New("snmp: response varbind count mismatch")
+)
+
+// Client is an SNMP manager client: the component that runs on the
+// management station and queries agents by OID.
+type Client struct {
+	// Transport performs the exchange.  Required.
+	Transport RoundTripper
+	// Version selects V1 or V2c (default V2c).
+	Version Version
+	// Community is the community string sent with every request.
+	Community string
+
+	reqID atomic.Int32
+}
+
+// NewClient builds a client over a transport.
+func NewClient(t RoundTripper, version Version, community string) *Client {
+	c := &Client{Transport: t, Version: version, Community: community}
+	c.reqID.Store(1)
+	return c
+}
+
+func (c *Client) exchange(pdu PDU) (*Message, error) {
+	pdu.RequestID = c.reqID.Add(1)
+	req := &Message{Version: c.Version, Community: c.Community, PDU: pdu}
+	frame, err := EncodeMessage(req)
+	if err != nil {
+		return nil, err
+	}
+	respFrame, err := c.Transport.RoundTrip(frame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeMessage(respFrame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.PDU.RequestID != pdu.RequestID {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRequestID, resp.PDU.RequestID, pdu.RequestID)
+	}
+	if resp.PDU.ErrorStatus != NoError {
+		return resp, fmt.Errorf("%w: %s (index %d)", ErrPDUError, resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+	}
+	return resp, nil
+}
+
+// Get fetches the values at the given OIDs.
+func (c *Client) Get(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Null()}
+	}
+	resp, err := c.exchange(PDU{Type: GetRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.PDU.VarBinds) != len(oids) {
+		return nil, ErrShortReply
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// GetOne fetches a single OID's value.
+func (c *Client) GetOne(oid OID) (Value, error) {
+	vbs, err := c.Get(oid)
+	if err != nil {
+		return Value{}, err
+	}
+	return vbs[0].Value, nil
+}
+
+// GetNumber fetches a single OID and converts it to float64; v2c
+// exception values and non-numeric types yield an error.  This is the
+// primary entry point for the QoS inference engine.
+func (c *Client) GetNumber(oid OID) (float64, error) {
+	v, err := c.GetOne(oid)
+	if err != nil {
+		return 0, err
+	}
+	if v.IsException() {
+		return 0, fmt.Errorf("%w: %s: %s", ErrNoObject, oid, v.Type)
+	}
+	n, ok := v.Number()
+	if !ok {
+		return 0, fmt.Errorf("snmp: %s has non-numeric type %s", oid, v.Type)
+	}
+	return n, nil
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs.
+func (c *Client) GetNext(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Null()}
+	}
+	resp, err := c.exchange(PDU{Type: GetNextRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.PDU.VarBinds) != len(oids) {
+		return nil, ErrShortReply
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// Walk visits every instance under prefix via repeated GETNEXT.
+func (c *Client) Walk(prefix OID, visit func(VarBind) bool) error {
+	cur := prefix
+	for {
+		vbs, err := c.GetNext(cur)
+		if err != nil {
+			// v1 agents signal end-of-MIB with noSuchName.
+			if c.Version == V1 && errors.Is(err, ErrPDUError) {
+				return nil
+			}
+			return err
+		}
+		vb := vbs[0]
+		if vb.Value.Type == TypeEndOfMibView || !vb.OID.HasPrefix(prefix) {
+			return nil
+		}
+		if vb.OID.Compare(cur) <= 0 {
+			return fmt.Errorf("snmp: agent OID did not advance at %s", vb.OID)
+		}
+		if !visit(vb) {
+			return nil
+		}
+		cur = vb.OID
+	}
+}
+
+// GetBulk issues a GETBULK (v2c only).
+func (c *Client) GetBulk(nonRepeaters, maxRepetitions int, oids ...OID) ([]VarBind, error) {
+	if c.Version == V1 {
+		return nil, fmt.Errorf("snmp: GETBULK requires SNMPv2c")
+	}
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Null()}
+	}
+	resp, err := c.exchange(PDU{
+		Type:        GetBulkRequest,
+		ErrorStatus: ErrorStatus(nonRepeaters),
+		ErrorIndex:  maxRepetitions,
+		VarBinds:    vbs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// Set writes values at the given varbinds.
+func (c *Client) Set(vbs ...VarBind) ([]VarBind, error) {
+	resp, err := c.exchange(PDU{Type: SetRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// AgentRoundTripper wires a client directly to an in-process agent —
+// the configuration used by the simulation experiments, where host
+// instrumentation and inference engine live in one process.
+type AgentRoundTripper struct {
+	Agent *Agent
+	// Drop, when non-nil, is consulted per request; returning true
+	// simulates a lost datagram (the client sees a timeout).
+	Drop func() bool
+}
+
+// RoundTrip implements RoundTripper.
+func (t *AgentRoundTripper) RoundTrip(request []byte) ([]byte, error) {
+	if t.Drop != nil && t.Drop() {
+		return nil, ErrTimeout
+	}
+	resp, err := t.Agent.HandleFrame(request)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, ErrTimeout // dropped (e.g. bad community) looks like a timeout
+	}
+	return resp, nil
+}
+
+// UDPRoundTripper exchanges SNMP frames over UDP with timeout and
+// retries, as a management station would.
+type UDPRoundTripper struct {
+	// Addr is the agent's UDP address, e.g. "127.0.0.1:16161".
+	Addr string
+	// Timeout bounds each attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts (default 2).
+	Retries int
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+func (t *UDPRoundTripper) dial() (*net.UDPConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		return t.conn, nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", t.Addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	t.conn = conn
+	return conn, nil
+}
+
+// Close releases the socket.
+func (t *UDPRoundTripper) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}
+
+// RoundTrip implements RoundTripper.
+func (t *UDPRoundTripper) RoundTrip(request []byte) ([]byte, error) {
+	conn, err := t.dial()
+	if err != nil {
+		return nil, err
+	}
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := t.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	buf := make([]byte, 64<<10)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if _, err := conn.Write(request); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				lastErr = ErrTimeout
+				continue
+			}
+			lastErr = err
+			continue
+		}
+		return append([]byte(nil), buf[:n]...), nil
+	}
+	return nil, lastErr
+}

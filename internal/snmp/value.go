@@ -1,0 +1,265 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// ValueType enumerates SNMP variable binding value types.
+type ValueType uint8
+
+// Value types.
+const (
+	TypeNull ValueType = iota
+	TypeInteger
+	TypeOctetString
+	TypeObjectIdentifier
+	TypeIPAddress
+	TypeCounter32
+	TypeGauge32
+	TypeTimeTicks
+	TypeCounter64
+	TypeOpaque
+	// v2c exception values, returned in place of data.
+	TypeNoSuchObject
+	TypeNoSuchInstance
+	TypeEndOfMibView
+)
+
+// String names the value type.
+func (t ValueType) String() string {
+	switch t {
+	case TypeNull:
+		return "Null"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeOctetString:
+		return "OCTET STRING"
+	case TypeObjectIdentifier:
+		return "OBJECT IDENTIFIER"
+	case TypeIPAddress:
+		return "IpAddress"
+	case TypeCounter32:
+		return "Counter32"
+	case TypeGauge32:
+		return "Gauge32"
+	case TypeTimeTicks:
+		return "TimeTicks"
+	case TypeCounter64:
+		return "Counter64"
+	case TypeOpaque:
+		return "Opaque"
+	case TypeNoSuchObject:
+		return "noSuchObject"
+	case TypeNoSuchInstance:
+		return "noSuchInstance"
+	case TypeEndOfMibView:
+		return "endOfMibView"
+	default:
+		return fmt.Sprintf("ValueType(%d)", uint8(t))
+	}
+}
+
+// Value is an SNMP variable value.
+type Value struct {
+	Type  ValueType
+	Int   int64  // TypeInteger
+	Uint  uint64 // Counter32/Gauge32/TimeTicks/Counter64
+	Bytes []byte // OctetString, Opaque
+	OID   OID    // ObjectIdentifier
+	IP    netip.Addr
+}
+
+// Value constructors.
+
+// Null returns a NULL value.
+func Null() Value { return Value{Type: TypeNull} }
+
+// Integer returns an INTEGER value.
+func Integer(v int64) Value { return Value{Type: TypeInteger, Int: v} }
+
+// OctetString returns an OCTET STRING value.
+func OctetString(b []byte) Value {
+	return Value{Type: TypeOctetString, Bytes: append([]byte(nil), b...)}
+}
+
+// String8 returns an OCTET STRING value from a Go string.
+func String8(s string) Value { return Value{Type: TypeOctetString, Bytes: []byte(s)} }
+
+// ObjectIdentifier returns an OID value.
+func ObjectIdentifier(o OID) Value { return Value{Type: TypeObjectIdentifier, OID: o.Clone()} }
+
+// IPAddress returns an IpAddress value.
+func IPAddress(a netip.Addr) Value { return Value{Type: TypeIPAddress, IP: a} }
+
+// Counter32 returns a Counter32 value.
+func Counter32(v uint32) Value { return Value{Type: TypeCounter32, Uint: uint64(v)} }
+
+// Gauge32 returns a Gauge32 value.
+func Gauge32(v uint32) Value { return Value{Type: TypeGauge32, Uint: uint64(v)} }
+
+// TimeTicks returns a TimeTicks value (hundredths of a second).
+func TimeTicks(v uint32) Value { return Value{Type: TypeTimeTicks, Uint: uint64(v)} }
+
+// Counter64 returns a Counter64 value.
+func Counter64(v uint64) Value { return Value{Type: TypeCounter64, Uint: v} }
+
+// NoSuchObject is the v2c exception for an unknown object.
+func NoSuchObject() Value { return Value{Type: TypeNoSuchObject} }
+
+// NoSuchInstance is the v2c exception for an unknown instance.
+func NoSuchInstance() Value { return Value{Type: TypeNoSuchInstance} }
+
+// EndOfMibView is the v2c exception marking the end of the MIB.
+func EndOfMibView() Value { return Value{Type: TypeEndOfMibView} }
+
+// IsException reports whether the value is a v2c exception.
+func (v Value) IsException() bool {
+	return v.Type == TypeNoSuchObject || v.Type == TypeNoSuchInstance || v.Type == TypeEndOfMibView
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInteger:
+		return fmt.Sprintf("INTEGER: %d", v.Int)
+	case TypeOctetString:
+		return fmt.Sprintf("STRING: %q", v.Bytes)
+	case TypeObjectIdentifier:
+		return "OID: " + v.OID.String()
+	case TypeIPAddress:
+		return "IpAddress: " + v.IP.String()
+	case TypeCounter32:
+		return fmt.Sprintf("Counter32: %d", v.Uint)
+	case TypeGauge32:
+		return fmt.Sprintf("Gauge32: %d", v.Uint)
+	case TypeTimeTicks:
+		return fmt.Sprintf("Timeticks: %d", v.Uint)
+	case TypeCounter64:
+		return fmt.Sprintf("Counter64: %d", v.Uint)
+	case TypeOpaque:
+		return fmt.Sprintf("Opaque: %x", v.Bytes)
+	default:
+		return v.Type.String()
+	}
+}
+
+// Number returns the value as a float64 for QoS computations, covering
+// the numeric SNMP types.  ok is false for non-numeric values.
+func (v Value) Number() (float64, bool) {
+	switch v.Type {
+	case TypeInteger:
+		return float64(v.Int), true
+	case TypeCounter32, TypeGauge32, TypeTimeTicks, TypeCounter64:
+		return float64(v.Uint), true
+	default:
+		return 0, false
+	}
+}
+
+// ErrBadValue reports an unencodable or undecodable value.
+var ErrBadValue = errors.New("snmp: bad value")
+
+// appendValue appends the BER encoding of v.
+func appendValue(out []byte, v Value) ([]byte, error) {
+	switch v.Type {
+	case TypeNull:
+		return appendTLV(out, tagNull, nil), nil
+	case TypeInteger:
+		return appendInt(out, tagInteger, v.Int), nil
+	case TypeOctetString:
+		return appendTLV(out, tagOctetString, v.Bytes), nil
+	case TypeObjectIdentifier:
+		content, err := encodeOID(v.OID)
+		if err != nil {
+			return nil, err
+		}
+		return appendTLV(out, tagOID, content), nil
+	case TypeIPAddress:
+		if !v.IP.Is4() {
+			return nil, fmt.Errorf("%w: IpAddress must be IPv4", ErrBadValue)
+		}
+		a4 := v.IP.As4()
+		return appendTLV(out, tagIPAddress, a4[:]), nil
+	case TypeCounter32:
+		return appendUint(out, tagCounter32, v.Uint), nil
+	case TypeGauge32:
+		return appendUint(out, tagGauge32, v.Uint), nil
+	case TypeTimeTicks:
+		return appendUint(out, tagTimeTicks, v.Uint), nil
+	case TypeCounter64:
+		return appendUint(out, tagCounter64, v.Uint), nil
+	case TypeOpaque:
+		return appendTLV(out, tagOpaque, v.Bytes), nil
+	case TypeNoSuchObject:
+		return appendTLV(out, tagNoSuchObject, nil), nil
+	case TypeNoSuchInstance:
+		return appendTLV(out, tagNoSuchInst, nil), nil
+	case TypeEndOfMibView:
+		return appendTLV(out, tagEndOfMibView, nil), nil
+	default:
+		return nil, fmt.Errorf("%w: type %s", ErrBadValue, v.Type)
+	}
+}
+
+// parseValue decodes one BER value element.
+func parseValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagNull:
+		return Null(), nil
+	case tagInteger:
+		n, err := parseInt(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return Integer(n), nil
+	case tagOctetString:
+		return OctetString(content), nil
+	case tagOID:
+		o, err := decodeOID(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return ObjectIdentifier(o), nil
+	case tagIPAddress:
+		if len(content) != 4 {
+			return Value{}, fmt.Errorf("%w: IpAddress with %d bytes", ErrBadValue, len(content))
+		}
+		return IPAddress(netip.AddrFrom4([4]byte(content))), nil
+	case tagCounter32, tagGauge32, tagTimeTicks:
+		n, err := parseUint(content)
+		if err != nil {
+			return Value{}, err
+		}
+		if n > 0xFFFFFFFF {
+			return Value{}, fmt.Errorf("%w: 32-bit value overflow", ErrBadValue)
+		}
+		switch tag {
+		case tagCounter32:
+			return Counter32(uint32(n)), nil
+		case tagGauge32:
+			return Gauge32(uint32(n)), nil
+		default:
+			return TimeTicks(uint32(n)), nil
+		}
+	case tagCounter64:
+		n, err := parseUint(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return Counter64(n), nil
+	case tagOpaque:
+		return Value{Type: TypeOpaque, Bytes: append([]byte(nil), content...)}, nil
+	case tagNoSuchObject:
+		return NoSuchObject(), nil
+	case tagNoSuchInst:
+		return NoSuchInstance(), nil
+	case tagEndOfMibView:
+		return EndOfMibView(), nil
+	default:
+		return Value{}, fmt.Errorf("%w: tag 0x%02X", ErrBadValue, tag)
+	}
+}

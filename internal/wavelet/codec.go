@@ -1,0 +1,333 @@
+package wavelet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"math"
+)
+
+// Stream header: magic(4) | W uint16 | H uint16 | levels uint8 |
+// maxPlane uint8.  Everything after the header is the embedded
+// bit-plane code; any prefix decodes.
+var streamMagic = [4]byte{'E', 'Z', 'W', '1'}
+
+const headerLen = 4 + 2 + 2 + 1 + 1
+
+// Codec errors.
+var (
+	ErrStreamHeader = errors.New("wavelet: bad stream header")
+	ErrImageSize    = errors.New("wavelet: image dimensions unsupported")
+)
+
+// maxDim bounds W and H (uint16 on the wire).
+const maxDim = 1 << 15
+
+// Encode produces the full embedded stream for the image: a
+// coarse-to-fine bit-plane code of its wavelet coefficients.  Decoding
+// the whole stream is lossless; decoding any prefix is a progressively
+// better approximation.  levels ≤ 0 selects the maximum decomposition.
+func Encode(im *Image, levels int) ([]byte, error) {
+	return EncodeFilter(im, levels, Filter53)
+}
+
+// EncodeFilter is Encode with an explicit wavelet filter.  The filter
+// choice travels in the stream header, so decoders need no side
+// information.
+func EncodeFilter(im *Image, levels int, filter Filter) ([]byte, error) {
+	if im.W < 1 || im.H < 1 || im.W > maxDim || im.H > maxDim {
+		return nil, fmt.Errorf("%w: %dx%d", ErrImageSize, im.W, im.H)
+	}
+	if filter != Filter53 && filter != FilterHaar {
+		return nil, fmt.Errorf("%w: unknown filter %d", ErrImageSize, filter)
+	}
+	if levels <= 0 {
+		levels = MaxLevels(im.W, im.H)
+	}
+	c := ForwardFilter(im, levels, filter)
+	order := c.scanOrder()
+
+	// Highest significant bit plane across all coefficients.
+	var maxMag int32
+	for _, v := range c.Data {
+		m := v
+		if m < 0 {
+			m = -m
+		}
+		if m > maxMag {
+			maxMag = m
+		}
+	}
+	maxPlane := 0
+	for t := maxMag; t > 1; t >>= 1 {
+		maxPlane++
+	}
+
+	header := make([]byte, headerLen)
+	copy(header, streamMagic[:])
+	binary.BigEndian.PutUint16(header[4:], uint16(im.W))
+	binary.BigEndian.PutUint16(header[6:], uint16(im.H))
+	// Levels occupy the low nibble; bit 7 selects the Haar filter.
+	header[8] = byte(c.Levels)
+	if filter == FilterHaar {
+		header[8] |= 0x80
+	}
+	header[9] = byte(maxPlane)
+
+	w := &bitWriter{}
+	significant := make([]bool, len(order))
+	// insig holds positions (into order) still insignificant, compacted
+	// each plane so zero runs shorten as coefficients become significant.
+	insig := make([]int, len(order))
+	for i := range insig {
+		insig[i] = i
+	}
+	var refine []int // positions in order, in the order they became significant
+
+	for plane := maxPlane; plane >= 0; plane-- {
+		t := int32(1) << uint(plane)
+
+		// Refinement pass: one bit (bit `plane`) per previously
+		// significant coefficient.
+		for _, pos := range refine {
+			mag := c.Data[order[pos]]
+			if mag < 0 {
+				mag = -mag
+			}
+			w.writeBit(int(mag >> uint(plane) & 1))
+		}
+
+		// Significance pass with gamma-coded zero runs.
+		newSig := refine[len(refine):]
+		pos := 0
+		for pos < len(insig) {
+			// Find the next coefficient crossing the threshold.
+			q := pos
+			for q < len(insig) {
+				mag := c.Data[order[insig[q]]]
+				if mag < 0 {
+					mag = -mag
+				}
+				if mag >= t {
+					break
+				}
+				q++
+			}
+			if q == len(insig) {
+				w.writeGamma(uint32(len(insig) - pos + 1)) // run to end
+				break
+			}
+			w.writeGamma(uint32(q - pos + 1))
+			if c.Data[order[insig[q]]] < 0 {
+				w.writeBit(1)
+			} else {
+				w.writeBit(0)
+			}
+			significant[insig[q]] = true
+			newSig = append(newSig, insig[q])
+			pos = q + 1
+		}
+		refine = append(refine, newSig...)
+
+		// Compact the insignificant list.
+		keep := insig[:0]
+		for _, p := range insig {
+			if !significant[p] {
+				keep = append(keep, p)
+			}
+		}
+		insig = keep
+	}
+	return append(header, w.bytes()...), nil
+}
+
+// DecodeResult is a progressive decode outcome.
+type DecodeResult struct {
+	// Image is the reconstruction (clamped to 8-bit range).
+	Image *Image
+	// BitsUsed counts code bits actually consumed (excluding header).
+	BitsUsed int
+	// Lossless reports whether the full stream was present (bit plane 0
+	// completed), making the reconstruction exact.
+	Lossless bool
+	// PlanesDecoded counts fully decoded bit planes.
+	PlanesDecoded int
+}
+
+// Decode reconstructs an image from a (possibly truncated) prefix of
+// an Encode stream, clamping pixels to the 8-bit display range.  At
+// minimum the header must be present.
+func Decode(stream []byte) (*DecodeResult, error) {
+	return decode(stream, true)
+}
+
+// DecodeSigned is Decode without the 8-bit clamp, for planes whose
+// sample range is signed (the chroma planes of a color stream).
+func DecodeSigned(stream []byte) (*DecodeResult, error) {
+	return decode(stream, false)
+}
+
+func decode(stream []byte, clamp bool) (*DecodeResult, error) {
+	if len(stream) < headerLen {
+		return nil, ErrStreamHeader
+	}
+	if [4]byte(stream[:4]) != streamMagic {
+		return nil, ErrStreamHeader
+	}
+	w := int(binary.BigEndian.Uint16(stream[4:]))
+	h := int(binary.BigEndian.Uint16(stream[6:]))
+	filter := Filter53
+	if stream[8]&0x80 != 0 {
+		filter = FilterHaar
+	}
+	levels := int(stream[8] &^ 0x80)
+	maxPlane := int(stream[9])
+	if w < 1 || h < 1 || w > maxDim || h > maxDim || levels > 8 || maxPlane > 31 {
+		return nil, ErrStreamHeader
+	}
+	if levels > MaxLevels(w, h) {
+		return nil, ErrStreamHeader
+	}
+
+	c := &Coeffs{W: w, H: h, Levels: levels, Filter: filter, Data: make([]int32, w*h)}
+	order := c.scanOrder()
+	r := &bitReader{buf: stream[headerLen:]}
+
+	mag := make([]int32, len(order)) // known magnitude bits
+	sign := make([]int8, len(order)) // -1, +1, or 0 (insignificant)
+	significant := make([]bool, len(order))
+	insig := make([]int, len(order))
+	for i := range insig {
+		insig[i] = i
+	}
+	var refine []int
+
+	planesDone := 0
+	lastPlane := maxPlane
+	truncated := false
+
+decode:
+	for plane := maxPlane; plane >= 0; plane-- {
+		lastPlane = plane
+		t := int32(1) << uint(plane)
+
+		for _, pos := range refine {
+			b, err := r.readBit()
+			if err != nil {
+				truncated = true
+				break decode
+			}
+			if b == 1 {
+				mag[pos] |= t
+			}
+		}
+
+		newSig := refine[len(refine):]
+		pos := 0
+		for pos < len(insig) {
+			run, err := r.readGamma()
+			if err != nil {
+				truncated = true
+				break decode
+			}
+			pos += int(run) - 1
+			if pos >= len(insig) {
+				break // run to end of pass
+			}
+			sb, err := r.readBit()
+			if err != nil {
+				truncated = true
+				break decode
+			}
+			p := insig[pos]
+			mag[p] = t
+			if sb == 1 {
+				sign[p] = -1
+			} else {
+				sign[p] = 1
+			}
+			significant[p] = true
+			newSig = append(newSig, p)
+			pos++
+		}
+		refine = append(refine, newSig...)
+
+		keep := insig[:0]
+		for _, p := range insig {
+			if !significant[p] {
+				keep = append(keep, p)
+			}
+		}
+		insig = keep
+		planesDone++
+	}
+
+	// Reconstruct: significant coefficients get the midpoint of their
+	// remaining uncertainty interval unless the stream was complete.
+	half := int32(0)
+	if truncated || lastPlane > 0 {
+		half = (int32(1) << uint(lastPlane)) >> 1
+	}
+	for i, p := range order {
+		if sign[i] == 0 {
+			continue
+		}
+		v := mag[i] + half
+		if sign[i] < 0 {
+			v = -v
+		}
+		c.Data[p] = v
+	}
+
+	im := Inverse(c)
+	if clamp {
+		im.Clamp8()
+	}
+	return &DecodeResult{
+		Image:         im,
+		BitsUsed:      r.pos,
+		Lossless:      !truncated && lastPlane == 0,
+		PlanesDecoded: planesDone,
+	}, nil
+}
+
+// Metrics quantifies a coded representation of an image.
+type Metrics struct {
+	// Bytes is the coded size in bytes.
+	Bytes int
+	// BPP is bits per pixel of the coded representation.
+	BPP float64
+	// CompressionRatio is original (8 bpp) size over coded size.
+	CompressionRatio float64
+	// PSNR is reconstruction quality in dB (+Inf when lossless).
+	PSNR float64
+}
+
+// MeasurePrefix decodes the first n bytes of stream (clamped to at
+// least the header and at most the whole stream) against the original
+// image and reports rate/quality metrics.
+func MeasurePrefix(original *Image, stream []byte, n int) (Metrics, error) {
+	if n < headerLen {
+		n = headerLen
+	}
+	if n > len(stream) {
+		n = len(stream)
+	}
+	res, err := Decode(stream[:n])
+	if err != nil {
+		return Metrics{}, err
+	}
+	psnr, err := PSNR(original, res.Image)
+	if err != nil {
+		return Metrics{}, err
+	}
+	pixels := float64(original.W * original.H)
+	codeBytes := n
+	bpp := float64(codeBytes*8) / pixels
+	cr := math.Inf(1)
+	if codeBytes > 0 {
+		cr = pixels * 8 / float64(codeBytes*8)
+	}
+	return Metrics{Bytes: codeBytes, BPP: bpp, CompressionRatio: cr, PSNR: psnr}, nil
+}

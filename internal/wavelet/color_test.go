@@ -1,0 +1,168 @@
+package wavelet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomColor(seed int64, w, h int) *ColorImage {
+	r := rand.New(rand.NewSource(seed))
+	im := NewColorImage(w, h)
+	for i := range im.R {
+		im.R[i] = int32(r.Intn(256))
+		im.G[i] = int32(r.Intn(256))
+		im.B[i] = int32(r.Intn(256))
+	}
+	return im
+}
+
+func TestYCoCgRoundTrip(t *testing.T) {
+	im := randomColor(1, 37, 29)
+	y, co, cg := im.YCoCg()
+	back, err := FromYCoCg(y, co, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(im) {
+		t.Fatal("YCoCg-R is not reversible")
+	}
+	// Gray input has zero chroma.
+	gray := NewColorImage(8, 8)
+	for i := range gray.R {
+		gray.R[i], gray.G[i], gray.B[i] = 77, 77, 77
+	}
+	_, co, cg = gray.YCoCg()
+	for i := range co.Pix {
+		if co.Pix[i] != 0 || cg.Pix[i] != 0 {
+			t.Fatal("gray pixels must have zero chroma")
+		}
+	}
+	// Mismatched planes rejected.
+	if _, err := FromYCoCg(NewImage(4, 4), NewImage(5, 4), NewImage(4, 4)); err == nil {
+		t.Error("mismatched planes accepted")
+	}
+}
+
+func TestEncodeDecodeColorLossless(t *testing.T) {
+	for name, im := range map[string]*ColorImage{
+		"scene":  ColorScene(48, 48, 2),
+		"random": randomColor(3, 31, 17),
+		"tiny":   randomColor(4, 1, 1),
+	} {
+		stream, err := EncodeColor(im, 0, Filter53)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := DecodeColor(stream)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Lossless || res.PlanesPresent != 3 || !res.Image.Equal(im) {
+			t.Errorf("%s: lossless=%v planes=%d equal=%v",
+				name, res.Lossless, res.PlanesPresent, res.Image.Equal(im))
+		}
+	}
+}
+
+func TestColorTruncationDegradesToGrayscale(t *testing.T) {
+	im := ColorScene(64, 64, 5)
+	stream, err := EncodeColor(im, 0, Filter53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep just past the luma plane: 4 magic + 4 len + plane 0.
+	lumaLen := int(uint32(stream[4])<<24 | uint32(stream[5])<<16 | uint32(stream[6])<<8 | uint32(stream[7]))
+	prefix := stream[:8+lumaLen]
+	res, err := DecodeColor(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanesPresent != 1 || res.Lossless {
+		t.Fatalf("luma-only prefix: planes=%d lossless=%v", res.PlanesPresent, res.Lossless)
+	}
+	// Zero chroma means R=G=B everywhere (the grayscale rendition).
+	for i := range res.Image.R {
+		if res.Image.R[i] != res.Image.G[i] || res.Image.G[i] != res.Image.B[i] {
+			t.Fatalf("luma-only decode is not gray at %d: %d %d %d",
+				i, res.Image.R[i], res.Image.G[i], res.Image.B[i])
+		}
+	}
+
+	// PSNR improves monotonically with more of the stream.
+	var prev float64 = -1
+	for _, frac := range []float64{0.2, 0.5, 1.0} {
+		res, err := DecodeColor(stream[:int(float64(len(stream))*frac)])
+		if err != nil {
+			t.Fatalf("frac %g: %v", frac, err)
+		}
+		psnr, err := ColorPSNR(im, res.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < prev-0.5 {
+			t.Errorf("PSNR fell with more data: %.1f after %.1f", psnr, prev)
+		}
+		prev = psnr
+	}
+	if !math.IsInf(prev, 1) {
+		t.Errorf("full stream PSNR = %g, want +Inf", prev)
+	}
+}
+
+func TestDecodeColorRejects(t *testing.T) {
+	for _, bad := range [][]byte{nil, []byte("EZC1"), []byte("XXXX....")} {
+		if _, err := DecodeColor(bad); !errors.Is(err, ErrColorStream) {
+			t.Errorf("bad stream %q: %v", bad, err)
+		}
+	}
+	// A stream whose luma header itself is cut returns an error.
+	im := ColorScene(16, 16, 1)
+	stream, _ := EncodeColor(im, 0, Filter53)
+	if _, err := DecodeColor(stream[:10]); err == nil {
+		t.Error("cut luma header accepted")
+	}
+}
+
+// TestQuickYCoCgReversible: arbitrary (even out-of-range) channel
+// values survive the color transform exactly.
+func TestQuickYCoCgReversible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := NewColorImage(1+r.Intn(20), 1+r.Intn(20))
+		for i := range im.R {
+			im.R[i] = int32(r.Intn(1<<12)) - 1<<11
+			im.G[i] = int32(r.Intn(1<<12)) - 1<<11
+			im.B[i] = int32(r.Intn(1<<12)) - 1<<11
+		}
+		y, co, cg := im.YCoCg()
+		back, err := FromYCoCg(y, co, cg)
+		return err == nil && back.Equal(im)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickColorPrefixSafe: every prefix of a color stream either
+// decodes to a correctly sized image or reports a clean error.
+func TestQuickColorPrefixSafe(t *testing.T) {
+	im := ColorScene(32, 32, 9)
+	stream, err := EncodeColor(im, 0, FilterHaar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint16) bool {
+		prefix := stream[:int(n)%(len(stream)+1)]
+		res, err := DecodeColor(prefix)
+		if err != nil {
+			return true
+		}
+		return res.Image.W == 32 && res.Image.H == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package wavelet
+
+// The integer Haar wavelet (S-transform), the second reversible filter
+// offered by the coder.  It is cheaper than the 5/3 filter and has no
+// inter-coefficient prediction, which makes it preferable for already
+// blocky content (whiteboard rasters, document scans); the 5/3 filter
+// wins on smooth imagery.
+
+// Filter selects the lifting kernel used by the transform and coder.
+type Filter uint8
+
+// Available filters.
+const (
+	// Filter53 is the LeGall 5/3 integer lifting filter (default).
+	Filter53 Filter = iota
+	// FilterHaar is the integer Haar / S-transform.
+	FilterHaar
+)
+
+// String names the filter.
+func (f Filter) String() string {
+	switch f {
+	case Filter53:
+		return "5/3"
+	case FilterHaar:
+		return "haar"
+	default:
+		return "filter(?)"
+	}
+}
+
+// fwdHaar1d: s[i] = floor((x[2i] + x[2i+1]) / 2), d[i] = x[2i] - x[2i+1].
+// Odd-length signals pass the last sample through as a low coefficient.
+func fwdHaar1d(x, out []int32) {
+	n := len(x)
+	if n == 1 {
+		out[0] = x[0]
+		return
+	}
+	half := (n + 1) / 2
+	nd := n / 2
+	lo, hi := out[:half], out[half:half+nd]
+	for i := 0; i < nd; i++ {
+		a, b := x[2*i], x[2*i+1]
+		hi[i] = a - b
+		lo[i] = b + (hi[i] >> 1) // == floor((a+b)/2), exactly invertible
+	}
+	if n%2 == 1 {
+		lo[half-1] = x[n-1]
+	}
+}
+
+// invHaar1d inverts fwdHaar1d.
+func invHaar1d(c, out []int32) {
+	n := len(c)
+	if n == 1 {
+		out[0] = c[0]
+		return
+	}
+	half := (n + 1) / 2
+	nd := n / 2
+	lo, hi := c[:half], c[half:half+nd]
+	for i := 0; i < nd; i++ {
+		b := lo[i] - (hi[i] >> 1)
+		out[2*i+1] = b
+		out[2*i] = b + hi[i]
+	}
+	if n%2 == 1 {
+		out[n-1] = lo[half-1]
+	}
+}
+
+// kernels returns the forward and inverse 1-D kernels for a filter.
+func (f Filter) kernels() (fwd, inv func(x, out []int32)) {
+	if f == FilterHaar {
+		return fwdHaar1d, invHaar1d
+	}
+	return fwd1d, inv1d
+}
+
+// ForwardFilter computes a levels-deep 2-D transform with the chosen
+// filter.  Forward(im, levels) is ForwardFilter(im, levels, Filter53).
+func ForwardFilter(im *Image, levels int, filter Filter) *Coeffs {
+	if max := MaxLevels(im.W, im.H); levels > max {
+		levels = max
+	}
+	if levels < 0 {
+		levels = 0
+	}
+	fwd, _ := filter.kernels()
+	c := &Coeffs{W: im.W, H: im.H, Levels: levels, Filter: filter,
+		Data: append([]int32(nil), im.Pix...)}
+
+	w, h := im.W, im.H
+	rowIn := make([]int32, im.W)
+	rowOut := make([]int32, im.W)
+	colIn := make([]int32, im.H)
+	colOut := make([]int32, im.H)
+	for lv := 0; lv < levels; lv++ {
+		for y := 0; y < h; y++ {
+			base := y * im.W
+			copy(rowIn[:w], c.Data[base:base+w])
+			fwd(rowIn[:w], rowOut[:w])
+			copy(c.Data[base:base+w], rowOut[:w])
+		}
+		for x := 0; x < w; x++ {
+			for y := 0; y < h; y++ {
+				colIn[y] = c.Data[y*im.W+x]
+			}
+			fwd(colIn[:h], colOut[:h])
+			for y := 0; y < h; y++ {
+				c.Data[y*im.W+x] = colOut[y]
+			}
+		}
+		w = (w + 1) / 2
+		h = (h + 1) / 2
+	}
+	return c
+}
