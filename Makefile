@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-dispatch ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent paths (selector cache, profile snapshots, fan-out
+# pool, SimNet) must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Just the dispatch fast-path microbenchmarks (DESIGN.md §7).
+bench-dispatch:
+	$(GO) test -run xxx -benchmem . \
+		-bench 'MatchProfile|ProfileFlatten|MessageWrap|BaseStationFanOut'
+
+# The gate a PR must pass: vet + full suite + race detector.
+ci: vet test race
+
+clean:
+	$(GO) clean -testcache

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/basestation"
 	"adaptiveqos/internal/experiments"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/inference"
@@ -26,6 +27,7 @@ import (
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/transport"
 	"adaptiveqos/internal/wavelet"
 )
 
@@ -336,6 +338,181 @@ func BenchmarkSelectorMatch(b *testing.B) {
 			b.Fatal("should match")
 		}
 	}
+}
+
+// The dispatch-path selector used by the MatchProfile benches: four
+// clauses over mixed attribute kinds, representative of real session
+// selectors.
+const benchDispatchSelector = `media == "video" and encoding in ["MPEG2", "JPEG"] and size <= 1048576 and exists(cap.display)`
+
+var benchDispatchProfile = selector.Attributes{
+	"media":       selector.S("video"),
+	"encoding":    selector.S("JPEG"),
+	"size":        selector.N(500_000),
+	"cap.display": selector.B(true),
+}
+
+// BenchmarkMatchProfileCached is the production dispatch path: the
+// message's selector text resolves through the process-global compiled
+// cache, so steady state pays a map lookup plus evaluation.
+func BenchmarkMatchProfileCached(b *testing.B) {
+	m := &message.Message{Kind: message.KindEvent, Selector: benchDispatchSelector}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !m.MatchProfile(benchDispatchProfile) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+// BenchmarkMatchProfileUncached replicates the seed behavior — a full
+// lex+parse+compile of the selector per delivered message — to quantify
+// what the cache saves.
+func BenchmarkMatchProfileUncached(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sel, err := selector.Compile(benchDispatchSelector)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sel.Matches(benchDispatchProfile) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+// BenchmarkProfileFlatten compares the memoized flattened-profile view
+// (the per-frame receive path) with a rebuild per call (seed behavior:
+// Snapshot().Flatten()).
+func BenchmarkProfileFlatten(b *testing.B) {
+	pm := profile.NewManager("bench")
+	pm.SetInterest("media", selector.S("video"))
+	pm.SetInterest("topic", selector.S("medical"))
+	pm.SetPreference("modality", selector.S("image"))
+	pm.SetState("cpu-load", selector.N(40))
+
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if flat, _ := pm.FlatSnapshot(); len(flat) == 0 {
+				b.Fatal("empty flatten")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if flat := pm.Snapshot().Flatten(); len(flat) == 0 {
+				b.Fatal("empty flatten")
+			}
+		}
+	})
+}
+
+// BenchmarkMessageWrap compares the pooled encode+envelope path
+// (WrapMessage) with the allocating seed path (Encode then Wrap).
+func BenchmarkMessageWrap(b *testing.B) {
+	m := &message.Message{
+		Kind:     message.KindEvent,
+		Sender:   "client-7",
+		Seq:      99,
+		Selector: `media == "image"`,
+		Attrs: selector.Attributes{
+			"media": selector.S("image"),
+			"size":  selector.N(4096),
+		},
+		Body: make([]byte, 1024),
+	}
+	env := &message.Enveloper{}
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.WrapMessage(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frame, err := message.Encode(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := env.Wrap(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchFanOut measures one uplink event relayed to n wireless
+// clients: per-client selector match, tier gate and unicast.
+// Thresholds are opened wide so population-driven SIR degradation does
+// not change which clients are served across n. workers == 0 uses the
+// default (GOMAXPROCS) pool; workers == 1 forces the sequential path.
+func benchFanOut(b *testing.B, n, workers int) {
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 1})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 2})
+	defer wiredNet.Close()
+	defer radioNet.Close()
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}),
+		basestation.Config{
+			Thresholds:    radio.Thresholds{TextDB: -1000, SketchDB: -900, ImageDB: -800},
+			FanOutWorkers: workers,
+		})
+	defer bs.Close()
+
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i)
+		conn, err := radioNet.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { // drain the client's inbox
+			for range conn.Recv() {
+			}
+		}()
+		p := profile.New(id)
+		p.Interests.SetString("media", "any")
+		if _, err := bs.Join(p, 30+float64(i%7), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	payload := []byte("status: rally point two is clear")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs.UplinkEvent("w0", "chat", `media == "any"`, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseStationFanOut(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			benchFanOut(b, n, 0)
+		})
+	}
+}
+
+// BenchmarkBaseStationFanOutSequential pins the pool to one worker so
+// the parallel speedup of the default configuration is measurable with
+// everything else (caches, pooling) held constant.
+func BenchmarkBaseStationFanOutSequential(b *testing.B) {
+	b.Run("clients=64", func(b *testing.B) {
+		benchFanOut(b, 64, 1)
+	})
 }
 
 func BenchmarkSelectorParse(b *testing.B) {

@@ -14,6 +14,7 @@ package basestation
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"adaptiveqos/internal/apps"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/rtp"
@@ -62,6 +64,10 @@ type Config struct {
 	// AdmissionMinSIRdB, when non-zero, denies joins that would push
 	// the *joining* client below this SIR.
 	AdmissionMinSIRdB float64
+	// FanOutWorkers bounds the worker pool used to match, transform and
+	// send one relayed message to the wireless population concurrently.
+	// 0 means GOMAXPROCS; 1 forces the sequential path.
+	FanOutWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,7 +80,69 @@ func (c Config) withDefaults() Config {
 	if c.TotalPackets <= 0 {
 		c.TotalPackets = 16
 	}
+	if c.FanOutWorkers <= 0 {
+		c.FanOutWorkers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// Fan-out instrumentation (see DESIGN.md "Dispatch fast path").
+var (
+	ctrFanOutBatches = metrics.C(metrics.CtrFanOutBatches)
+	ctrFanOutSends   = metrics.C(metrics.CtrFanOutSends)
+	ctrFanOutWorkers = metrics.C(metrics.CtrFanOutWorkerSpawns)
+)
+
+// fanOut runs fn once per client ID through a bounded worker pool and
+// waits for completion, returning the first error (remaining clients
+// are still attempted: one slow or failed peer must not starve the
+// rest).  Per-client in-order delivery is preserved: each ID is handled
+// by exactly one fn call, and the relay loops invoke fanOut for one
+// message at a time, joining before the next message is processed.
+func (bs *BaseStation) fanOut(ids []string, fn func(id string) error) error {
+	ctrFanOutBatches.Inc()
+	ctrFanOutSends.Add(uint64(len(ids)))
+	workers := bs.cfg.FanOutWorkers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for _, id := range ids {
+			if err := fn(id); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	ctrFanOutWorkers.Add(uint64(workers))
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				if err := fn(ids[i]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Assessment is the basic service assessment the base station returns
@@ -284,11 +352,7 @@ func (bs *BaseStation) newMessage(kind message.Kind, sender, sel string, attrs s
 }
 
 func (bs *BaseStation) multicastWired(m *message.Message) error {
-	frame, err := message.Encode(m)
-	if err != nil {
-		return err
-	}
-	datagrams, err := bs.env.Wrap(frame)
+	datagrams, err := bs.env.WrapMessage(m)
 	if err != nil {
 		return err
 	}
@@ -301,11 +365,7 @@ func (bs *BaseStation) multicastWired(m *message.Message) error {
 }
 
 func (bs *BaseStation) unicastWireless(to string, m *message.Message) error {
-	frame, err := message.Encode(m)
-	if err != nil {
-		return err
-	}
-	datagrams, err := bs.env.Wrap(frame)
+	datagrams, err := bs.env.WrapMessage(m)
 	if err != nil {
 		return err
 	}
@@ -340,13 +400,13 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 	if err := bs.multicastWired(m); err != nil {
 		return err
 	}
-	for _, id := range bs.profiles.IDs() {
+	if err := bs.fanOut(bs.profiles.IDs(), func(id string) error {
 		if id == sender {
-			continue
+			return nil
 		}
-		if err := bs.unicastWireless(id, m); err != nil {
-			return err
-		}
+		return bs.unicastWireless(id, m)
+	}); err != nil {
+		return err
 	}
 	bs.stats.uplinkEvents.Add(1)
 	return nil
@@ -385,26 +445,26 @@ func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object
 	}
 
 	// Unicast to the other wireless clients at min(uplink tier, their
-	// own tier).
-	for _, id := range bs.profiles.IDs() {
+	// own tier), each peer assessed and served by the fan-out pool.
+	if err := bs.fanOut(bs.profiles.IDs(), func(id string) error {
 		if id == sender {
-			continue
+			return nil
 		}
 		peerAssess, err := bs.Assess(id)
 		if err != nil {
-			continue
+			return nil
 		}
 		tier := peerAssess.Tier
 		if assess.Tier < tier {
 			tier = assess.Tier
 		}
 		if tier == radio.TierNone {
-			continue
+			return nil
 		}
 		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
-		if err := bs.forwardTiered(sender, object, sel, obj, tier, send); err != nil {
-			return err
-		}
+		return bs.forwardTiered(sender, object, sel, obj, tier, send)
+	}); err != nil {
+		return err
 	}
 	bs.stats.uplinkEvents.Add(1)
 	return nil
@@ -511,17 +571,21 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 	switch {
 	case m.Kind == message.KindEvent && (app.Str() == apps.AppChat || app.Str() == apps.AppWhiteboard || app.Str() == apps.AppMedia):
 		// Light events pass through to clients whose profile matches
-		// the selector and whose SIR supports at least text.
-		for _, id := range bs.profiles.IDs() {
-			p, ok := bs.profiles.Get(id)
-			if !ok || !m.MatchProfile(p.Flatten()) {
-				continue
+		// the selector and whose SIR supports at least text.  The
+		// cached compiled selector is evaluated against each client's
+		// memoized flattened profile by the fan-out pool — no per-packet
+		// profile copy or re-parse.
+		bs.fanOut(bs.profiles.IDs(), func(id string) error {
+			flat, _, ok := bs.profiles.FlatSnapshot(id)
+			if !ok || !m.MatchProfile(flat) {
+				return nil
 			}
 			if a, err := bs.Assess(id); err != nil || a.Tier < radio.TierText {
-				continue
+				return nil
 			}
 			bs.unicastWireless(id, m)
-		}
+			return nil
+		})
 	case m.Kind == message.KindEvent && app.Str() == apps.AppImageViewer:
 		meta, err := apps.DecodeImageMeta(m.Body)
 		if err != nil {
@@ -603,19 +667,21 @@ func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
 			return
 		}
 	}
-	for _, id := range bs.profiles.IDs() {
-		p, ok := bs.profiles.Get(id)
+	bs.fanOut(bs.profiles.IDs(), func(id string) error {
+		// The memoized flattened view carries preferences under their
+		// prefixed names; no per-client profile copy is needed.
+		flat, _, ok := bs.profiles.FlatSnapshot(id)
 		if !ok {
-			continue
+			return nil
 		}
 		a, err := bs.Assess(id)
 		if err != nil || a.Tier == radio.TierNone {
-			continue
+			return nil
 		}
 		// Respect the client's preferred modality when declared (e.g. a
 		// battery-saving client that switched to text mode).
 		tier := a.Tier
-		if pref, ok := p.Preferences["modality"]; ok {
+		if pref, ok := flat[profile.SectionPreference+".modality"]; ok {
 			switch media.Kind(pref.Str()) {
 			case media.KindText:
 				tier = radio.TierText
@@ -627,7 +693,8 @@ func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
 		}
 		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
 		bs.forwardTiered(sender, object, sel, obj, tier, send)
-	}
+		return nil
+	})
 }
 
 // wirelessLoop receives uplink frames from wireless clients over the

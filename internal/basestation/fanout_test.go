@@ -1,0 +1,94 @@
+package basestation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/transport"
+)
+
+func fanOutFixture(t *testing.T, workers int) *BaseStation {
+	t.Helper()
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 1})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 2})
+	t.Cleanup(func() { wiredNet.Close(); radioNet.Close() })
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}),
+		Config{FanOutWorkers: workers})
+	t.Cleanup(func() { bs.Close() })
+	return bs
+}
+
+// fanOut must call fn exactly once per ID regardless of worker count,
+// and must report the first error while still attempting every client.
+func TestFanOutCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			bs := fanOutFixture(t, workers)
+			ids := make([]string, 100)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("c%d", i)
+			}
+			var mu sync.Mutex
+			seen := make(map[string]int)
+			err := bs.fanOut(ids, func(id string) error {
+				mu.Lock()
+				seen[id]++
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != len(ids) {
+				t.Fatalf("fn saw %d distinct ids, want %d", len(seen), len(ids))
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("id %s handled %d times", id, n)
+				}
+			}
+		})
+	}
+}
+
+func TestFanOutErrorDoesNotStarvePeers(t *testing.T) {
+	bs := fanOutFixture(t, 4)
+	ids := []string{"a", "b", "c", "d", "e", "f"}
+	boom := errors.New("boom")
+	var handled atomic.Int64
+	err := bs.fanOut(ids, func(id string) error {
+		handled.Add(1)
+		if id == "b" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if handled.Load() != int64(len(ids)) {
+		t.Fatalf("handled %d of %d: one failing peer starved the rest", handled.Load(), len(ids))
+	}
+}
+
+func TestFanOutEmpty(t *testing.T) {
+	bs := fanOutFixture(t, 4)
+	if err := bs.fanOut(nil, func(string) error {
+		t.Error("fn called for empty id set")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -246,11 +246,7 @@ func (c *Client) newMessage(kind message.Kind, sel string, attrs selector.Attrib
 }
 
 func (c *Client) multicast(m *message.Message) error {
-	frame, err := message.Encode(m)
-	if err != nil {
-		return err
-	}
-	datagrams, err := c.env.Wrap(frame)
+	datagrams, err := c.env.WrapMessage(m)
 	if err != nil {
 		return err
 	}
@@ -264,11 +260,7 @@ func (c *Client) multicast(m *message.Message) error {
 
 // unicastMessage sends one message to a specific peer, enveloped.
 func (c *Client) unicastMessage(to string, m *message.Message) error {
-	frame, err := message.Encode(m)
-	if err != nil {
-		return err
-	}
-	datagrams, err := c.env.Wrap(frame)
+	datagrams, err := c.env.WrapMessage(m)
 	if err != nil {
 		return err
 	}
@@ -413,8 +405,11 @@ func (c *Client) handleFrame(pkt transport.Packet) {
 	}
 	// Semantic interpretation: the message selector is evaluated
 	// against this client's profile; non-matching traffic is dropped
-	// without any name-based addressing.
-	if !m.MatchProfile(c.pm.Snapshot().Flatten()) {
+	// without any name-based addressing.  The flattened view is
+	// memoized by the manager, so steady-state dispatch costs a map
+	// read, not a deep copy plus a rebuild per frame.
+	flat, _ := c.pm.FlatSnapshot()
+	if !m.MatchProfile(flat) {
 		c.stats.filtered.Add(1)
 		return
 	}

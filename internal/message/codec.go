@@ -40,17 +40,32 @@ const (
 
 // Codec errors.
 var (
-	ErrBadMagic  = errors.New("message: bad magic")
-	ErrTruncated = errors.New("message: truncated frame")
-	ErrChecksum  = errors.New("message: checksum mismatch")
-	ErrBadKind   = errors.New("message: unknown message kind")
-	ErrTooLarge  = errors.New("message: field exceeds codec limit")
-	ErrBadAttr   = errors.New("message: malformed attribute")
-	ErrTrailing  = errors.New("message: trailing bytes after frame")
+	ErrBadMagic    = errors.New("message: bad magic")
+	ErrTruncated   = errors.New("message: truncated frame")
+	ErrChecksum    = errors.New("message: checksum mismatch")
+	ErrBadKind     = errors.New("message: unknown message kind")
+	ErrTooLarge    = errors.New("message: field exceeds codec limit")
+	ErrBadAttr     = errors.New("message: malformed attribute")
+	ErrTrailing    = errors.New("message: trailing bytes after frame")
+	ErrBadSelector = errors.New("message: uncompilable selector")
 )
 
 // Encode serializes the message to a self-delimiting binary frame.
 func Encode(m *Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, encodedSizeHint(m)), m)
+}
+
+// encodedSizeHint estimates the frame size so a single allocation (or a
+// pooled buffer of typical capacity) holds the whole encoding.
+func encodedSizeHint(m *Message) int {
+	return 64 + len(m.Sender) + len(m.Selector) + len(m.Body) + 32*len(m.Attrs)
+}
+
+// AppendEncode serializes the message, appending the frame to dst and
+// returning the extended slice.  Callers reusing buffers across
+// messages (the send and relay hot paths) avoid a per-message
+// allocation; see Enveloper.WrapMessage.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	if !m.Kind.valid() {
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}
@@ -64,7 +79,8 @@ func Encode(m *Message) ([]byte, error) {
 		return nil, ErrTooLarge
 	}
 
-	buf := make([]byte, 0, 64+len(m.Sender)+len(m.Selector)+len(m.Body)+32*len(m.Attrs))
+	start := len(dst)
+	buf := dst
 	buf = append(buf, magic[:]...)
 	buf = append(buf, byte(m.Kind))
 	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
@@ -101,7 +117,7 @@ func Encode(m *Message) ([]byte, error) {
 
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Body)))
 	buf = append(buf, m.Body...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 	return buf, nil
 }
 
@@ -146,6 +162,16 @@ func Decode(frame []byte) (*Message, error) {
 	}
 	if m.Selector, err = d.str(); err != nil {
 		return nil, err
+	}
+	// Reject uncompilable selectors at decode time: a corrupt selector
+	// off the wire is a malformed frame, not a message every receiver
+	// should carry to the dispatch layer and silently drop there.  The
+	// selector cache (including its negative entries) makes this check a
+	// map lookup on all but the first sighting.
+	if m.Selector != "" {
+		if _, serr := selector.CompileCached(m.Selector); serr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSelector, serr)
+		}
 	}
 
 	nattrs, err := d.u16()

@@ -205,12 +205,22 @@ func TestCloneAndString(t *testing.T) {
 func TestQuickCodecRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
+		// Selectors must compile (Decode rejects uncompilable ones), so
+		// draw from a pool of valid sources; corrupt selectors are
+		// covered by TestDecodeRejectsBadSelector.
+		validSelectors := []string{
+			"",
+			"true",
+			`media == "image"`,
+			`size <= 1048576 and exists(cap.display)`,
+			`encoding in ["MPEG2", "JPEG"] or topic == "medical"`,
+		}
 		m := &Message{
 			Kind:      Kind(1 + r.Intn(4)),
 			Sender:    randStr(r, 20),
 			Seq:       r.Uint32(),
 			Timestamp: time.Unix(r.Int63n(1<<32), r.Int63n(1e9)),
-			Selector:  randStr(r, 60),
+			Selector:  validSelectors[r.Intn(len(validSelectors))],
 			Attrs:     make(selector.Attributes),
 			Body:      randBytes(r, 2000),
 		}

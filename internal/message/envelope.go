@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"adaptiveqos/internal/metrics"
 )
 
 // Frame envelope: everything the framework puts on the wire is either
@@ -32,7 +34,9 @@ func (e *Enveloper) mtu() int {
 	return e.MTU
 }
 
-// Wrap converts one encoded message frame into wire datagrams.
+// Wrap converts one encoded message frame into wire datagrams.  The
+// frame bytes are copied into the returned datagrams, so the caller may
+// reuse frame's backing array immediately (see WrapMessage).
 func (e *Enveloper) Wrap(frame []byte) ([][]byte, error) {
 	if len(frame)+1 <= e.mtu() {
 		out := make([]byte, 0, len(frame)+1)
@@ -45,11 +49,48 @@ func (e *Enveloper) Wrap(frame []byte) ([][]byte, error) {
 	}
 	out := make([][]byte, len(frags))
 	for i := range frags {
-		buf := make([]byte, 0, e.mtu())
+		buf := make([]byte, 0, 1+fragHeaderLen+len(frags[i].Chunk))
 		buf = append(buf, envFragment)
-		out[i] = append(buf, frags[i].Marshal()...)
+		out[i] = frags[i].AppendMarshal(buf)
 	}
 	return out, nil
+}
+
+// Encode-buffer pool for the send/relay hot path.  Buffers above
+// maxPooledBuf (large media bodies) are not retained so a burst of big
+// frames cannot pin memory behind the pool.
+const maxPooledBuf = 64 << 10
+
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var (
+	ctrEncBufReuse = metrics.C(metrics.CtrEncodeBufReuse)
+	ctrEncBufAlloc = metrics.C(metrics.CtrEncodeBufAlloc)
+)
+
+// WrapMessage encodes m into a pooled scratch buffer and wraps the
+// frame into wire datagrams.  Because Wrap copies the frame into the
+// datagrams, the scratch buffer is recycled before returning — the
+// per-message frame allocation that Encode+Wrap pays disappears from
+// the send and relay paths.
+func (e *Enveloper) WrapMessage(m *Message) ([][]byte, error) {
+	bp := encBufPool.Get().(*[]byte)
+	if cap(*bp) > 0 {
+		ctrEncBufReuse.Inc()
+	} else {
+		ctrEncBufAlloc.Inc()
+	}
+	frame, err := AppendEncode((*bp)[:0], m)
+	if err != nil {
+		encBufPool.Put(bp)
+		return nil, err
+	}
+	*bp = frame[:0]
+	out, werr := e.Wrap(frame)
+	if cap(frame) <= maxPooledBuf {
+		encBufPool.Put(bp)
+	}
+	return out, werr
 }
 
 // WrapWhole envelopes a frame known to fit one datagram (test and

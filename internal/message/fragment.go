@@ -74,13 +74,21 @@ func Split(msgID uint64, payload []byte, mtu int) ([]Fragment, error) {
 
 // Marshal encodes the fragment (header + chunk).
 func (f *Fragment) Marshal() []byte {
-	buf := make([]byte, fragHeaderLen+len(f.Chunk))
-	binary.BigEndian.PutUint64(buf, f.MsgID)
-	binary.BigEndian.PutUint16(buf[8:], f.Index)
-	binary.BigEndian.PutUint16(buf[10:], f.Count)
-	binary.BigEndian.PutUint32(buf[12:], uint32(len(f.Chunk)))
-	copy(buf[fragHeaderLen:], f.Chunk)
-	return buf
+	return f.AppendMarshal(make([]byte, 0, fragHeaderLen+len(f.Chunk)))
+}
+
+// AppendMarshal encodes the fragment, appending to dst and returning
+// the extended slice.  The envelope path marshals straight into each
+// outbound datagram buffer, avoiding an intermediate allocation per
+// fragment.
+func (f *Fragment) AppendMarshal(dst []byte) []byte {
+	var hdr [fragHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[:], f.MsgID)
+	binary.BigEndian.PutUint16(hdr[8:], f.Index)
+	binary.BigEndian.PutUint16(hdr[10:], f.Count)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.Chunk)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Chunk...)
 }
 
 // UnmarshalFragment decodes a fragment frame.

@@ -78,19 +78,33 @@ type Message struct {
 }
 
 // MatchProfile reports whether the message's selector admits the given
-// flattened profile attributes.  An empty or unparsable selector
-// matches nothing except the empty selector, which matches everything
-// (fail-closed on bad selectors: a malformed expression must not leak
-// content to unintended receivers).
+// flattened profile attributes.  The empty selector matches everything;
+// an unparsable selector matches nothing (fail-closed: a malformed
+// expression must not leak content to unintended receivers — Decode
+// additionally rejects such frames up front, see ErrBadSelector).
+//
+// Compilation goes through the process-global selector cache, so each
+// distinct selector is lexed and parsed once per process rather than
+// once per delivered message.
 func (m *Message) MatchProfile(flat selector.Attributes) bool {
-	if m.Selector == "" {
-		return true
-	}
-	sel, err := selector.Compile(m.Selector)
+	sel, err := m.CompiledSelector()
 	if err != nil {
 		return false
 	}
+	if sel == nil {
+		return true
+	}
 	return sel.Matches(flat)
+}
+
+// CompiledSelector returns the message's selector compiled through the
+// process-global cache.  A nil selector with nil error means the empty
+// ("match all") selector.
+func (m *Message) CompiledSelector() (*selector.Selector, error) {
+	if m.Selector == "" {
+		return nil, nil
+	}
+	return selector.CompileCached(m.Selector)
 }
 
 // Attr returns a content attribute.

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for
+// concurrent use.  Hot paths hold a *Counter and pay one atomic add per
+// event; the registry is only consulted at lookup time.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter (benchmarks measuring deltas).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// CounterSet is a registry of named counters.
+type CounterSet struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewCounterSet returns an empty registry.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counters: make(map[string]*Counter)}
+}
+
+// Counter returns (creating on demand) the named counter.
+func (s *CounterSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every registered counter.
+func (s *CounterSet) Snapshot() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Render writes the counters as "name value" lines in sorted order.
+func (s *CounterSet) Render(w io.Writer) error {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s %d\n", name, snap[name])
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// defaultCounters is the process-global registry the substrate's fast
+// paths report into (selector cache hits, flatten reuse, pooled-buffer
+// reuse, fan-out activity).
+var defaultCounters = NewCounterSet()
+
+// C returns the named counter from the process-global registry.
+func C(name string) *Counter { return defaultCounters.Counter(name) }
+
+// Counters returns the process-global counter snapshot.
+func Counters() map[string]uint64 { return defaultCounters.Snapshot() }
+
+// Names of the dispatch fast-path counters (see DESIGN.md "Dispatch
+// fast path").  Declared here so instrumented packages and tools agree
+// on spelling.
+const (
+	CtrSelectorCacheHit    = "selector.cache.hit"
+	CtrSelectorCacheMiss   = "selector.cache.miss"
+	CtrFlattenReuse        = "profile.flatten.reuse"
+	CtrFlattenBuild        = "profile.flatten.build"
+	CtrEncodeBufReuse      = "message.encodebuf.reuse"
+	CtrEncodeBufAlloc      = "message.encodebuf.alloc"
+	CtrFanOutBatches       = "basestation.fanout.batches"
+	CtrFanOutSends         = "basestation.fanout.sends"
+	CtrFanOutWorkerSpawns  = "basestation.fanout.workers"
+)

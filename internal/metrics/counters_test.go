@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	s := NewCounterSet()
+	c := s.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("count = %d", c.Load())
+	}
+	if s.Counter("x") != c {
+		t.Error("same name must return the same counter")
+	}
+	s.Counter("y").Inc()
+	snap := s.Snapshot()
+	if snap["x"] != 5 || snap["y"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Error("reset failed")
+	}
+
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x 0\ny 1\n" {
+		t.Errorf("render = %q", sb.String())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Load(); got != 8000 {
+		t.Errorf("shared = %d", got)
+	}
+}
+
+func TestGlobalCounters(t *testing.T) {
+	C("test.global").Add(3)
+	if Counters()["test.global"] < 3 {
+		t.Error("global counter not visible in snapshot")
+	}
+}

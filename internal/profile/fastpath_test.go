@@ -1,0 +1,176 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adaptiveqos/internal/selector"
+)
+
+func TestManagerFlatSnapshotMemoization(t *testing.T) {
+	m := NewManager("c1")
+	m.SetInterest("media", selector.S("image"))
+
+	flat1, gen1 := m.FlatSnapshot()
+	flat2, gen2 := m.FlatSnapshot()
+	if gen1 != gen2 {
+		t.Fatalf("generation moved without a mutation: %d vs %d", gen1, gen2)
+	}
+	// Identity check: the memoized map is reused, not rebuilt.
+	if fmt.Sprintf("%p", flat1) != fmt.Sprintf("%p", flat2) {
+		t.Error("repeated FlatSnapshot rebuilt the flattened view")
+	}
+	if flat1["media"].Str() != "image" {
+		t.Error("flattened view missing interest attribute")
+	}
+
+	// A mutation bumps the generation and is visible in the next
+	// snapshot; the old snapshot is untouched (copy-on-write).
+	m.SetState("cpu-load", selector.N(80))
+	flat3, gen3 := m.FlatSnapshot()
+	if gen3 <= gen1 {
+		t.Errorf("generation did not advance: %d → %d", gen1, gen3)
+	}
+	if flat3["state.cpu-load"].Num() != 80 {
+		t.Error("new snapshot missing mutated state")
+	}
+	if _, ok := flat1["state.cpu-load"]; ok {
+		t.Error("old snapshot mutated in place")
+	}
+}
+
+func TestManagerMatchesUsesMemoizedFlat(t *testing.T) {
+	m := NewManager("c1")
+	m.SetInterest("media", selector.S("image"))
+	sel := selector.MustCompile(`media == "image" and client == "c1"`)
+	if !m.Matches(sel) {
+		t.Fatal("expected match")
+	}
+	m.SetInterest("media", selector.S("text"))
+	if m.Matches(sel) {
+		t.Fatal("match survived an interest change")
+	}
+}
+
+// Concurrent Update writers and FlatSnapshot readers must be race-free
+// and readers must always observe an internally consistent snapshot
+// (run under -race).
+func TestManagerFlatSnapshotConcurrent(t *testing.T) {
+	m := NewManager("c1")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				m.SetState(fmt.Sprintf("p%d", w), selector.N(float64(i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < 1000; i++ {
+				flat, gen := m.FlatSnapshot()
+				if gen < lastGen {
+					t.Error("generation went backwards")
+					return
+				}
+				lastGen = gen
+				if flat["client"].Str() != "c1" {
+					t.Error("snapshot missing identity attribute")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Version() != 4*300 {
+		t.Errorf("version = %d, want %d", m.Version(), 4*300)
+	}
+}
+
+func TestRegistryFlatSnapshot(t *testing.T) {
+	r := NewRegistry()
+	p := New("a")
+	p.Interests.SetString("media", "image")
+	r.Put(p)
+
+	flat1, v1, ok := r.FlatSnapshot("a")
+	if !ok || flat1["media"].Str() != "image" {
+		t.Fatalf("FlatSnapshot = %v %d %v", flat1, v1, ok)
+	}
+	flat2, _, _ := r.FlatSnapshot("a")
+	if fmt.Sprintf("%p", flat1) != fmt.Sprintf("%p", flat2) {
+		t.Error("repeated FlatSnapshot rebuilt the flattened view")
+	}
+
+	// UpdateState with a new value invalidates; equal value does not.
+	if _, err := r.UpdateState("a", "sir", selector.N(9)); err != nil {
+		t.Fatal(err)
+	}
+	flat3, v3, _ := r.FlatSnapshot("a")
+	if v3 <= v1 || flat3["state.sir"].Num() != 9 {
+		t.Fatalf("post-update snapshot: v=%d flat=%v", v3, flat3)
+	}
+	if _, err := r.UpdateState("a", "sir", selector.N(9)); err != nil {
+		t.Fatal(err)
+	}
+	flat4, v4, _ := r.FlatSnapshot("a")
+	if v4 != v3 {
+		t.Error("equal-value UpdateState bumped the version")
+	}
+	if fmt.Sprintf("%p", flat3) != fmt.Sprintf("%p", flat4) {
+		t.Error("equal-value UpdateState invalidated the flattened view")
+	}
+
+	if _, _, ok := r.FlatSnapshot("missing"); ok {
+		t.Error("FlatSnapshot of unknown client reported ok")
+	}
+	r.Remove("a")
+	if _, _, ok := r.FlatSnapshot("a"); ok {
+		t.Error("FlatSnapshot after Remove reported ok")
+	}
+}
+
+// Concurrent registry writers (UpdateState/Put) and flat readers must
+// be race-free (run under -race).
+func TestRegistryFlatSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Put(New(fmt.Sprintf("c%d", i)))
+	}
+	ids := r.IDs()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(w+i)%len(ids)]
+				if _, err := r.UpdateState(id, "sir", selector.N(float64(i%7))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(w+i)%len(ids)]
+				flat, _, ok := r.FlatSnapshot(id)
+				if !ok || flat["client"].Str() != id {
+					t.Errorf("inconsistent snapshot for %s", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,16 +4,29 @@ import (
 	"fmt"
 	"sync"
 
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/selector"
+)
+
+// Fast-path counters: the dispatch path asks for a flattened profile on
+// every received frame, so reuse-vs-rebuild is worth instrumenting.
+var (
+	ctrFlattenReuse = metrics.C(metrics.CtrFlattenReuse)
+	ctrFlattenBuild = metrics.C(metrics.CtrFlattenBuild)
 )
 
 // Manager owns a client's profile, serializes mutations, assigns
 // monotonically increasing versions, and notifies watchers of changes.
 // The profile is dynamic: it changes locally to reflect changes in the
 // client (interests, preferences) or in the observed system state.
+//
+// The manager memoizes the profile's flattened attribute view
+// (copy-on-write): Flatten is rebuilt at most once per mutation, not
+// once per delivered message.  See FlatSnapshot.
 type Manager struct {
 	mu       sync.RWMutex
 	p        *Profile
+	flat     selector.Attributes // memoized p.Flatten(); nil = stale
 	watchers map[int]chan *Profile
 	nextID   int
 }
@@ -37,6 +50,37 @@ func (m *Manager) Version() uint64 {
 	return m.p.Version
 }
 
+// FlatSnapshot returns the flattened attribute view of the current
+// profile along with its generation (the profile version it reflects).
+// The returned map is memoized and shared: it is immutable by contract
+// and MUST NOT be mutated by callers.  Mutations through the manager
+// leave previously returned snapshots untouched (copy-on-write) and
+// cause the next FlatSnapshot to rebuild.
+//
+// This is the per-frame dispatch path: matching a message selector
+// against the local profile costs a map read instead of a deep copy
+// plus a rebuild of the whole attribute space.
+func (m *Manager) FlatSnapshot() (selector.Attributes, uint64) {
+	m.mu.RLock()
+	if m.flat != nil {
+		flat, gen := m.flat, m.p.Version
+		m.mu.RUnlock()
+		ctrFlattenReuse.Inc()
+		return flat, gen
+	}
+	m.mu.RUnlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.flat == nil {
+		m.flat = m.p.Flatten()
+		ctrFlattenBuild.Inc()
+	} else {
+		ctrFlattenReuse.Inc()
+	}
+	return m.flat, m.p.Version
+}
+
 // Update applies fn to a copy of the profile under the manager's lock,
 // bumps the version, installs the result and notifies watchers.  fn
 // must not retain the profile.
@@ -47,6 +91,7 @@ func (m *Manager) Update(fn func(*Profile)) *Profile {
 	next.ID = m.p.ID // the identity is not mutable
 	next.Version = m.p.Version + 1
 	m.p = next
+	m.flat = nil // stale; rebuilt lazily (readers keep the old map)
 	snap := next.Clone()
 	watchers := make([]chan *Profile, 0, len(m.watchers))
 	for _, ch := range m.watchers {
@@ -105,43 +150,85 @@ func (m *Manager) Watch() (<-chan *Profile, func()) {
 	return ch, cancel
 }
 
-// Matches evaluates sel against the current profile.
+// Matches evaluates sel against the current profile using the memoized
+// flattened view.
 func (m *Manager) Matches(sel *selector.Selector) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.p.Matches(sel)
+	flat, _ := m.FlatSnapshot()
+	return sel.Matches(flat)
 }
 
 // Registry is a thread-safe collection of profiles indexed by client
 // ID.  The base station uses a Registry to maintain the profiles of all
 // wireless clients connected to it and to answer semantic queries on
-// their behalf.
+// their behalf.  Like Manager, the registry memoizes each profile's
+// flattened view so relay loops evaluating a selector against every
+// client do not rebuild attribute maps per packet.
 type Registry struct {
 	mu       sync.RWMutex
-	profiles map[string]*Profile
+	profiles map[string]*regEntry
+}
+
+// regEntry pairs a stored profile with its lazily built flattened view.
+// Both are copy-on-write: mutations install a fresh entry.
+type regEntry struct {
+	p    *Profile
+	flat selector.Attributes // nil until first FlatSnapshot after install
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{profiles: make(map[string]*Profile)}
+	return &Registry{profiles: make(map[string]*regEntry)}
 }
 
 // Put installs (or replaces) a profile snapshot.
 func (r *Registry) Put(p *Profile) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.profiles[p.ID] = p.Clone()
+	r.profiles[p.ID] = &regEntry{p: p.Clone()}
 }
 
 // Get returns a copy of the profile for id.
 func (r *Registry) Get(id string) (*Profile, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	p, ok := r.profiles[id]
+	e, ok := r.profiles[id]
 	if !ok {
 		return nil, false
 	}
-	return p.Clone(), true
+	return e.p.Clone(), true
+}
+
+// FlatSnapshot returns the memoized flattened attribute view of the
+// profile for id and its version.  The returned map is shared and
+// immutable by contract: callers MUST NOT mutate it.  It is rebuilt at
+// most once per profile mutation.
+func (r *Registry) FlatSnapshot(id string) (selector.Attributes, uint64, bool) {
+	r.mu.RLock()
+	e, ok := r.profiles[id]
+	if ok && e.flat != nil {
+		flat, ver := e.flat, e.p.Version
+		r.mu.RUnlock()
+		ctrFlattenReuse.Inc()
+		return flat, ver, true
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok = r.profiles[id]
+	if !ok {
+		return nil, 0, false
+	}
+	if e.flat == nil {
+		e.flat = e.p.Flatten()
+		ctrFlattenBuild.Inc()
+	} else {
+		ctrFlattenReuse.Inc()
+	}
+	return e.flat, e.p.Version, true
 }
 
 // Remove deletes the profile for id, reporting whether it was present.
@@ -171,31 +258,54 @@ func (r *Registry) IDs() []string {
 	return ids
 }
 
-// MatchAll returns copies of every profile satisfying sel.
+// MatchAll returns copies of every profile satisfying sel, evaluated
+// against the memoized flattened views.
 func (r *Registry) MatchAll(sel *selector.Selector) []*Profile {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var out []*Profile
-	for _, p := range r.profiles {
-		if p.Matches(sel) {
-			out = append(out, p.Clone())
+	for _, e := range r.profiles {
+		if e.flat == nil {
+			e.flat = e.p.Flatten()
+			ctrFlattenBuild.Inc()
+		} else {
+			ctrFlattenReuse.Inc()
+		}
+		if sel.Matches(e.flat) {
+			out = append(out, e.p.Clone())
 		}
 	}
 	return out
 }
 
 // UpdateState mutates one state attribute of a registered profile in
-// place (bumping its version) and returns the new snapshot.
+// place (bumping its version) and returns the new snapshot.  Writing a
+// value equal to the stored one is a no-op: the version does not bump
+// and the memoized flattened view stays valid, which keeps the relay
+// fast path (Assess refreshes sir/distance/power on every packet)
+// cache-friendly when the radio geometry is unchanged.
 func (r *Registry) UpdateState(id, name string, v selector.Value) (*Profile, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	p, ok := r.profiles[id]
+	e, ok := r.profiles[id]
 	if !ok {
 		return nil, fmt.Errorf("profile: unknown client %q", id)
 	}
-	next := p.Clone()
+	if old, ok := e.p.State[name]; ok && old.Equal(v) {
+		return e.p.Clone(), nil
+	}
+	// Copy-on-write on the State section only: the other sections are
+	// never mutated through the registry, so the new entry can share
+	// them with the one it replaces (Get/MatchAll hand out deep copies).
+	next := &Profile{
+		ID:           e.p.ID,
+		Interests:    e.p.Interests,
+		Preferences:  e.p.Preferences,
+		Capabilities: e.p.Capabilities,
+		State:        e.p.State.Clone(),
+		Version:      e.p.Version + 1,
+	}
 	next.State[name] = v
-	next.Version++
-	r.profiles[id] = next
+	r.profiles[id] = &regEntry{p: next}
 	return next.Clone(), nil
 }

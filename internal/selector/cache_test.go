@@ -1,0 +1,129 @@
+package selector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheCompileHitMiss(t *testing.T) {
+	c := NewCache(64)
+	src := `media == "image" and size <= 1024`
+
+	s1, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("second compile of the same source should return the cached selector")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+	if !s1.Matches(Attributes{"media": S("image"), "size": N(512)}) {
+		t.Error("cached selector does not match")
+	}
+}
+
+// Compile errors are cached (negative caching): a corrupt selector in a
+// message flood costs one parse, then map lookups.
+func TestCacheNegativeCaching(t *testing.T) {
+	c := NewCache(64)
+	if _, err := c.Compile(`media ==`); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if _, err := c.Compile(`media ==`); err == nil {
+		t.Fatal("expected cached compile error")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want the error path to hit the cache", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity 16 → one entry per shard; each shard evicts its LRU when
+	// a second distinct selector hashes to it.
+	c := NewCache(16)
+	for i := 0; i < 500; i++ {
+		src := fmt.Sprintf(`size == %d`, i)
+		if _, err := c.Compile(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries > 16 {
+		t.Errorf("entries = %d, want ≤ capacity 16", st.Entries)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(64)
+	if _, err := c.Compile(`true`); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("entries after purge = %d", st.Entries)
+	}
+	if _, err := c.Compile(`true`); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want re-parse after purge", st.Misses)
+	}
+}
+
+// Many goroutines compiling a mix of shared and distinct selectors must
+// be race-free and always receive a working selector (run under -race).
+func TestCacheConcurrentCompile(t *testing.T) {
+	c := NewCache(128)
+	attrs := Attributes{"media": S("image"), "size": N(100)}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				shared, err := c.Compile(`media == "image"`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !shared.Matches(attrs) {
+					t.Error("shared selector mismatch")
+					return
+				}
+				own, err := c.Compile(fmt.Sprintf(`size == %d`, i%32))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if own.Matches(attrs) != (i%32 == 100%32) {
+					_ = own
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stats = %+v, want both hits and misses", st)
+	}
+}
+
+func TestCompileCachedDefault(t *testing.T) {
+	s, err := CompileCached(`exists(cap.display)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matches(Attributes{"cap.display": B(true)}) {
+		t.Error("default-cache selector mismatch")
+	}
+	if DefaultCache().Stats().Misses == 0 {
+		t.Error("default cache saw no compiles")
+	}
+}
