@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-dispatch ci clean
+.PHONY: all build test race vet bench bench-dispatch bench-json ci clean
 
 all: build test
 
@@ -26,8 +26,14 @@ bench-dispatch:
 	$(GO) test -run xxx -benchmem . \
 		-bench 'MatchProfile|ProfileFlatten|MessageWrap|BaseStationFanOut'
 
-# The gate a PR must pass: vet + full suite + race detector.
-ci: vet test race
+# Machine-readable micro-benchmark report (BENCH_results.json).
+bench-json:
+	$(GO) run ./cmd/qosbench -bench
+
+# The gate a PR must pass: vet + full suite + race detector, plus the
+# observability zero-alloc and <5%-overhead guards (see ci.sh).
+ci:
+	./ci.sh
 
 clean:
 	$(GO) clean -testcache

@@ -1,10 +1,19 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, then the race detector over
-# every package (the selector cache, profile snapshots and base-station
-# fan-out pool are concurrent and must stay race-clean).
+# every package (the selector cache, profile snapshots, base-station
+# fan-out pool and the obs instrumentation layer are concurrent and
+# must stay race-clean).
 set -eu
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
+
+# Observability-layer gates (tentpole contract, DESIGN.md §8):
+# instrumentation must be race-clean under concurrent recording and
+# near-free when disabled — zero allocations on the disabled path and
+# under 5% timing overhead versus the uninstrumented workload.
+go test -race -count=1 ./internal/obs/
+go test -count=1 -run 'TestDisabledPathZeroAllocs|TestEnabledSpanZeroAllocs' ./internal/obs/
+go test -count=1 -run TestDisabledOverheadGuard -v ./internal/obs/

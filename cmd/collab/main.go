@@ -7,12 +7,19 @@
 // Usage:
 //
 //	collab [-wired 2] [-wireless 2] [-events 40] [-seed 1]
+//	       [-obs-addr :9090] [-obs-hold 0s]
+//
+// With -obs-addr, pipeline instrumentation is enabled and the
+// observability endpoint serves Prometheus-style /metrics and the
+// human /debug/qos dump for the duration of the run (-obs-hold keeps
+// the process serving after the scenario completes, for scraping).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"adaptiveqos/internal/apps"
@@ -20,6 +27,7 @@ import (
 	"adaptiveqos/internal/core"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/snmp"
@@ -32,7 +40,23 @@ func main() {
 	nWireless := flag.Int("wireless", 2, "number of wireless clients")
 	nEvents := flag.Int("events", 40, "number of workload events")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug/qos on this address (enables instrumentation)")
+	obsHold := flag.Duration("obs-hold", 0, "keep serving the observability endpoint this long after the run")
 	flag.Parse()
+
+	var collector *obs.Collector
+	if *obsAddr != "" {
+		obs.SetEnabled(true)
+		srv, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("collab: observability endpoint: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("collab: serving /metrics and /debug/qos on %s", *obsAddr)
+		collector = obs.NewCollector(100 * time.Millisecond)
+		collector.Start()
+		defer collector.Stop()
+	}
 
 	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed})
 	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed + 1})
@@ -45,6 +69,9 @@ func main() {
 	host.Set(hostagent.ParamPageFaults, 20)
 	monitor := &hostagent.Monitor{
 		Client: snmp.NewClient(&snmp.AgentRoundTripper{Agent: hostagent.NewAgent(host)}, snmp.V2c, "public"),
+	}
+	if collector != nil {
+		collector.Register(host.SampleQoS)
 	}
 
 	var wired []*core.Client
@@ -61,6 +88,9 @@ func main() {
 		}
 		c := core.NewClient(conn, cfg)
 		defer c.Close()
+		if collector != nil {
+			collector.Register(c.SampleQoS)
+		}
 		wired = append(wired, c)
 		senders = append(senders, id)
 	}
@@ -76,6 +106,9 @@ func main() {
 	}
 	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}), basestation.Config{})
 	defer bs.Close()
+	if collector != nil {
+		collector.Register(bs.SampleQoS)
+	}
 
 	var wireless []*core.Client
 	for i := 0; i < *nWireless; i++ {
@@ -86,6 +119,9 @@ func main() {
 		}
 		c := core.NewClient(conn, core.Config{})
 		defer c.Close()
+		if collector != nil {
+			collector.Register(c.SampleQoS)
+		}
 		p := profile.New(id)
 		assess, err := bs.Join(p, 50+float64(i)*6, 1)
 		if err != nil {
@@ -153,6 +189,16 @@ func main() {
 	if d := wired[0].LastDecision(); true {
 		fmt.Printf("final wired-0 budget: %d/16 packets (rules: %v)\n",
 			d.EffectiveBudget(16), d.Fired)
+	}
+
+	if collector != nil {
+		collector.SampleOnce()
+		fmt.Println("\n--- qos telemetry ---")
+		obs.WriteQoSDebug(os.Stdout, 16)
+		if *obsHold > 0 {
+			log.Printf("collab: holding observability endpoint on %s for %s", *obsAddr, *obsHold)
+			time.Sleep(*obsHold)
+		}
 	}
 }
 

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"adaptiveqos/internal/basestation"
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/transport"
+)
+
+// benchResult is one benchmark's record in BENCH_results.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_results.json document: the per-PR perf
+// trajectory of the hot dispatch and instrumentation paths.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// microBenches is the suite qosbench runs for the perf trajectory:
+// the dispatch fast path (DESIGN.md §7) and the observability layer's
+// enabled/disabled costs (DESIGN.md §8).
+func microBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	dispatchSel := `media == "video" and encoding in ["MPEG2", "JPEG"] and size <= 1048576 and exists(cap.display)`
+	dispatchProfile := selector.Attributes{
+		"media":       selector.S("video"),
+		"encoding":    selector.S("JPEG"),
+		"size":        selector.N(500_000),
+		"cap.display": selector.B(true),
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"selector-match-cached", func(b *testing.B) {
+			m := &message.Message{Kind: message.KindEvent, Selector: dispatchSel}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !m.MatchProfile(dispatchProfile) {
+					b.Fatal("should match")
+				}
+			}
+		}},
+		{"profile-flatten-memoized", func(b *testing.B) {
+			pm := profile.NewManager("bench")
+			pm.SetInterest("media", selector.S("video"))
+			pm.SetPreference("modality", selector.S("image"))
+			pm.SetState("cpu-load", selector.N(40))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if flat, _ := pm.FlatSnapshot(); len(flat) == 0 {
+					b.Fatal("empty flatten")
+				}
+			}
+		}},
+		{"message-wrap-pooled", func(b *testing.B) {
+			m := &message.Message{
+				Kind: message.KindEvent, Sender: "client-7", Seq: 99,
+				Selector: `media == "image"`,
+				Attrs:    selector.Attributes{"media": selector.S("image")},
+				Body:     make([]byte, 1024),
+			}
+			env := &message.Enveloper{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.WrapMessage(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"span-disabled", func(b *testing.B) {
+			obs.SetEnabled(false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := obs.StartStage(uint64(i), obs.StageMatch)
+				sp.End()
+			}
+		}},
+		{"span-enabled", func(b *testing.B) {
+			obs.SetEnabled(true)
+			defer obs.SetEnabled(false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := obs.StartStage(uint64(i), obs.StageMatch)
+				sp.End()
+			}
+		}},
+		{"histogram-observe", func(b *testing.B) {
+			var h obs.Histogram
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(int64(i))
+			}
+		}},
+		{"basestation-fanout-8", func(b *testing.B) { benchFanOut(b, 8) }},
+		{"basestation-fanout-64", func(b *testing.B) { benchFanOut(b, 64) }},
+	}
+}
+
+// benchFanOut mirrors BenchmarkBaseStationFanOut from the repo bench
+// suite: one uplink event relayed to n wireless clients.
+func benchFanOut(b *testing.B, n int) {
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: 1})
+	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: 2})
+	defer wiredNet.Close()
+	defer radioNet.Close()
+	bsWired, err := wiredNet.Attach("bs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bsRF, err := radioNet.Attach("bs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}),
+		basestation.Config{Thresholds: radio.Thresholds{TextDB: -1000, SketchDB: -900, ImageDB: -800}})
+	defer bs.Close()
+
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i)
+		conn, err := radioNet.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for range conn.Recv() {
+			}
+		}()
+		p := profile.New(id)
+		p.Interests.SetString("media", "any")
+		if _, err := bs.Join(p, 30+float64(i%7), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := []byte("status: rally point two is clear")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs.UplinkEvent("w0", "chat", `media == "any"`, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runBenchSuite runs the micro-benchmark suite, prints an aligned
+// text table, and writes the machine-readable report to path.
+func runBenchSuite(path string) error {
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("%-26s %12s %12s %10s %12s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op")
+	for _, bench := range microBenches() {
+		r := testing.Benchmark(bench.fn)
+		res := benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-26s %12d %12.1f %10d %12d\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

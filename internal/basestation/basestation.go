@@ -24,6 +24,7 @@ import (
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
 	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/rtp"
@@ -317,6 +318,31 @@ func (bs *BaseStation) Assess(id string) (Assessment, error) {
 	}, nil
 }
 
+// SampleQoS feeds the wireless segment's QoS state into the gauge
+// set: per-client SIR, service tier and power-control state (transmit
+// power, distance), plus the population size.  The signature matches
+// obs.SamplerFunc so the telemetry collector can register the base
+// station directly.
+func (bs *BaseStation) SampleQoS(set func(name string, value float64)) {
+	ids := bs.profiles.IDs()
+	set(`bs_clients{bs="`+bs.id+`"}`, float64(len(ids)))
+	for _, id := range ids {
+		db, err := bs.channel.SIRdB(id)
+		if err != nil {
+			continue
+		}
+		cl, err := bs.channel.Get(id)
+		if err != nil {
+			continue
+		}
+		label := `{bs="` + bs.id + `",client="` + id + `"}`
+		set("client_sir_db"+label, db)
+		set("client_tier"+label, float64(bs.cfg.Thresholds.TierFor(db)))
+		set("client_power"+label, cl.Power)
+		set("client_distance"+label, cl.Distance)
+	}
+}
+
 // SetDistance moves a wireless client (mobility).
 func (bs *BaseStation) SetDistance(id string, d float64) error {
 	return bs.channel.SetDistance(id, d)
@@ -391,13 +417,22 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 	}
 	if assess.Tier < radio.TierText {
 		bs.stats.uplinkDropped.Add(1)
+		if obs.Enabled() {
+			obs.Drop(0, obs.StagePublish,
+				fmt.Sprintf("bs %s: uplink event from %s below text tier (%.1f dB)",
+					bs.id, sender, assess.SIRdB))
+		}
 		return fmt.Errorf("%w: %s at %.1f dB", ErrNoService, sender, assess.SIRdB)
 	}
 	attrs := selector.Attributes{
 		message.AttrApp: selector.S(app),
 	}
 	m := bs.newMessage(message.KindEvent, sender, sel, attrs, payload)
+	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
 	if err := bs.multicastWired(m); err != nil {
+		if sp.Active() {
+			sp.EndErr("bs relay: " + err.Error())
+		}
 		return err
 	}
 	if err := bs.fanOut(bs.profiles.IDs(), func(id string) error {
@@ -406,8 +441,12 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 		}
 		return bs.unicastWireless(id, m)
 	}); err != nil {
+		if sp.Active() {
+			sp.EndErr("bs fan-out: " + err.Error())
+		}
 		return err
 	}
+	sp.End()
 	bs.stats.uplinkEvents.Add(1)
 	return nil
 }
@@ -428,6 +467,11 @@ func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object
 	}
 	if assess.Tier == radio.TierNone {
 		bs.stats.uplinkDropped.Add(1)
+		if obs.Enabled() {
+			obs.Drop(0, obs.StagePublish,
+				fmt.Sprintf("bs %s: uplink share from %s below any tier (%.1f dB)",
+					bs.id, sender, assess.SIRdB))
+		}
 		return fmt.Errorf("%w: %s at %.1f dB", ErrNoService, sender, assess.SIRdB)
 	}
 
@@ -527,17 +571,27 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 		}
 		return deliver(obj)
 	case radio.TierSketch:
+		tsp := obs.StartStage(0, obs.StageTransform)
 		sk, err := bs.cfg.Registry.Transmode(obj, media.KindSketch)
 		if err != nil {
 			// Non-image content cannot be sketched; fall back to text.
+			if tsp.Active() {
+				tsp.EndErr("bs " + bs.id + ": " + object + " cannot sketch, falling back to text")
+			}
 			return bs.forwardTiered(sender, object, sel, obj, radio.TierText, send)
 		}
+		tsp.End()
 		return deliver(sk)
 	case radio.TierText:
+		tsp := obs.StartStage(0, obs.StageTransform)
 		txt, err := bs.cfg.Registry.Transmode(obj, media.KindText)
 		if err != nil {
+			if tsp.Active() {
+				tsp.EndErr("bs " + bs.id + ": " + object + " text transform failed")
+			}
 			return err
 		}
+		tsp.End()
 		return deliver(txt)
 	default:
 		return ErrNoService
@@ -575,12 +629,19 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 		// cached compiled selector is evaluated against each client's
 		// memoized flattened profile by the fan-out pool — no per-packet
 		// profile copy or re-parse.
+		msgID := obs.MsgID(m.Sender, m.Seq)
 		bs.fanOut(bs.profiles.IDs(), func(id string) error {
+			msp := obs.StartStage(msgID, obs.StageMatch)
 			flat, _, ok := bs.profiles.FlatSnapshot(id)
 			if !ok || !m.MatchProfile(flat) {
+				msp.End()
 				return nil
 			}
+			msp.End()
 			if a, err := bs.Assess(id); err != nil || a.Tier < radio.TierText {
+				if obs.Enabled() {
+					obs.Drop(msgID, obs.StageDeliver, "bs "+bs.id+": "+id+" below text tier")
+				}
 				return nil
 			}
 			bs.unicastWireless(id, m)
@@ -676,6 +737,10 @@ func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
 		}
 		a, err := bs.Assess(id)
 		if err != nil || a.Tier == radio.TierNone {
+			if obs.Enabled() {
+				obs.Drop(0, obs.StageDeliver,
+					"bs "+bs.id+": collected image "+object+" not deliverable to "+id)
+			}
 			return nil
 		}
 		// Respect the client's preferred modality when declared (e.g. a

@@ -22,6 +22,7 @@ import (
 	"adaptiveqos/internal/inference"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/rtp"
 	"adaptiveqos/internal/selector"
@@ -285,7 +286,11 @@ func (c *Client) Say(text, sel string) error {
 	if err := c.chat.Apply(c.ID(), apps.EncodeSay(text)); err != nil {
 		return err
 	}
-	return c.multicast(c.newMessage(message.KindEvent, sel, attrs, apps.EncodeSay(text)))
+	m := c.newMessage(message.KindEvent, sel, attrs, apps.EncodeSay(text))
+	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
+	err := c.multicast(m)
+	sp.End()
+	return err
 }
 
 // Draw publishes a whiteboard stroke.
@@ -299,7 +304,11 @@ func (c *Client) Draw(s apps.Stroke, sel string) error {
 	if err := c.wb.Apply(payload); err != nil {
 		return err
 	}
-	return c.multicast(c.newMessage(message.KindEvent, sel, attrs, payload))
+	m := c.newMessage(message.KindEvent, sel, attrs, payload)
+	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
+	err := c.multicast(m)
+	sp.End()
+	return err
 }
 
 // ShareImage publishes a progressive image: an announce event followed
@@ -324,16 +333,28 @@ func (c *Client) ShareImage(object string, obj *media.Object, sel string) error 
 		message.AttrObject: selector.S(object),
 		"lamport":          selector.N(float64(c.clock.Tick())),
 	})
-	if err := c.multicast(c.newMessage(message.KindEvent, sel, announceAttrs, apps.EncodeImageMeta(meta))); err != nil {
+	announce := c.newMessage(message.KindEvent, sel, announceAttrs, apps.EncodeImageMeta(meta))
+	shareID := obs.MsgID(announce.Sender, announce.Seq)
+	psp := obs.StartStage(shareID, obs.StagePublish)
+	if err := c.multicast(announce); err != nil {
+		if psp.Active() {
+			psp.EndErr("announce: " + err.Error())
+		}
 		return err
 	}
+	psp.End()
 
 	// Send-side adaptation: when receivers have reported loss, there is
 	// no point transmitting tail packets nobody can use — the sender
 	// truncates the progressive stream itself.
 	if budget := c.sendBudget(len(packets)); budget < len(packets) {
+		if obs.Enabled() {
+			obs.Note(shareID, obs.StageRTP,
+				fmt.Sprintf("send-side truncation to %d/%d packets", budget, len(packets)))
+		}
 		packets = packets[:budget]
 	}
+	rsp := obs.StartStage(shareID, obs.StageRTP)
 	for i, p := range packets {
 		pkt := c.rtpSend.Next(uint32(time.Now().UnixMilli()), i == len(packets)-1, p)
 		attrs := selector.Attributes{
@@ -343,9 +364,13 @@ func (c *Client) ShareImage(object string, obj *media.Object, sel string) error 
 			message.AttrLevel:  selector.N(float64(i)),
 		}
 		if err := c.multicast(c.newMessage(message.KindData, sel, attrs, pkt.Marshal())); err != nil {
+			if rsp.Active() {
+				rsp.EndErr("rtp send: " + err.Error())
+			}
 			return err
 		}
 	}
+	rsp.End()
 	return nil
 }
 
@@ -398,30 +423,43 @@ func (c *Client) handleFrame(pkt transport.Packet) {
 	m, err := message.Decode(frame)
 	if err != nil {
 		c.stats.errors.Add(1)
+		if obs.Enabled() {
+			obs.Drop(0, obs.StageMatch, c.ID()+": undecodable frame from "+pkt.From)
+		}
 		return
 	}
 	if m.Sender == c.ID() {
 		return // self-delivery via relays
 	}
+	msgID := obs.MsgID(m.Sender, m.Seq)
 	// Semantic interpretation: the message selector is evaluated
 	// against this client's profile; non-matching traffic is dropped
 	// without any name-based addressing.  The flattened view is
 	// memoized by the manager, so steady-state dispatch costs a map
 	// read, not a deep copy plus a rebuild per frame.
+	msp := obs.StartStage(msgID, obs.StageMatch)
 	flat, _ := c.pm.FlatSnapshot()
 	if !m.MatchProfile(flat) {
 		c.stats.filtered.Add(1)
+		if msp.Active() {
+			msp.EndErr(c.ID() + ": filtered by profile")
+		}
 		return
 	}
+	msp.End()
 	if lam, ok := m.Attrs["lamport"]; ok {
 		c.clock.Witness(uint64(lam.Num()))
 	}
 
 	switch m.Kind {
 	case message.KindEvent:
+		dsp := obs.StartStage(msgID, obs.StageDeliver)
 		c.handleEvent(m)
+		dsp.End()
 	case message.KindData:
+		dsp := obs.StartStage(msgID, obs.StageDeliver)
 		c.handleData(m)
+		dsp.End()
 	case message.KindControl:
 		// RTCP feedback and lock notifications; other control traffic
 		// belongs to coordinators and base stations.
@@ -460,6 +498,10 @@ func (c *Client) handleEvent(m *message.Message) {
 		}
 	default:
 		c.stats.errors.Add(1)
+		if obs.Enabled() {
+			obs.Drop(obs.MsgID(m.Sender, m.Seq), obs.StageDeliver,
+				c.ID()+": unknown app "+app.Str())
+		}
 		return
 	}
 	c.stats.received.Add(1)
@@ -500,10 +542,18 @@ func (c *Client) handleData(m *message.Message) {
 	if err := c.viewer.AddPacket(object.Str(), int(level.Num()), pkt.Payload); err != nil {
 		if errors.Is(err, apps.ErrUnknownImage) {
 			// The packet overtook its announce; park it.
+			if obs.Enabled() {
+				obs.Note(obs.MsgID(m.Sender, m.Seq), obs.StageReorder,
+					c.ID()+": packet overtook announce of "+object.Str())
+			}
 			c.parkPacket(object.Str(), int(level.Num()), pkt.Payload)
 			return
 		}
 		c.stats.errors.Add(1)
+		if obs.Enabled() {
+			obs.Drop(obs.MsgID(m.Sender, m.Seq), obs.StageDeliver,
+				c.ID()+": data packet rejected: "+err.Error())
+		}
 		return
 	}
 	c.stats.data.Add(1)
@@ -611,6 +661,40 @@ func (c *Client) observedLoss() (float64, bool) {
 		return 0, false
 	}
 	return float64(lost) / float64(received+lost), true
+}
+
+// SampleQoS feeds the client's transport-level reception quality into
+// the QoS gauge set: per-sender RTCP-style loss fraction and
+// interarrival jitter, plus the aggregate loss fraction the inference
+// engine adapts to.  The signature matches obs.SamplerFunc so the
+// telemetry collector can register the client directly.
+func (c *Client) SampleQoS(set func(name string, value float64)) {
+	type senderStats struct {
+		sender string
+		s      rtp.Stats
+	}
+	c.rtpMu.Lock()
+	snaps := make([]senderStats, 0, len(c.rtpRecv))
+	for sender, r := range c.rtpRecv {
+		snaps = append(snaps, senderStats{sender, r.Snapshot()})
+	}
+	c.rtpMu.Unlock()
+	var received, lost uint64
+	for _, sn := range snaps {
+		label := `{client="` + c.ID() + `",sender="` + sn.sender + `"}`
+		var frac float64
+		if exp := sn.s.ExpectedTotal; exp > 0 {
+			frac = float64(sn.s.Lost) / float64(exp)
+		}
+		set("rtp_loss_fraction"+label, frac)
+		set("rtp_jitter"+label, sn.s.Jitter)
+		received += sn.s.Received
+		lost += sn.s.Lost
+	}
+	if received+lost > 0 {
+		set(`client_loss_fraction{client="`+c.ID()+`"}`,
+			float64(lost)/float64(received+lost))
+	}
 }
 
 // ReceptionReport returns the RTP-level reception statistics for a

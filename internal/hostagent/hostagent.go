@@ -209,6 +209,22 @@ func (h *Host) Get(param string) float64 {
 	return h.values[param]
 }
 
+// SampleQoS feeds every current host parameter into the QoS gauge
+// set (the system-state side of the telemetry the contract adapts
+// to).  The signature matches obs.SamplerFunc so the telemetry
+// collector can register the host directly.
+func (h *Host) SampleQoS(set func(name string, value float64)) {
+	h.mu.RLock()
+	params := make(map[string]float64, len(h.values))
+	for param, v := range h.values {
+		params[param] = v
+	}
+	h.mu.RUnlock()
+	for param, v := range params {
+		set(`host_param{host="`+h.Name+`",param="`+param+`"}`, v)
+	}
+}
+
 // Step advances the workload one step, re-evaluating every schedule.
 // It returns the new step index.
 func (h *Host) Step() int {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
 )
 
 // Frame envelope: everything the framework puts on the wire is either
@@ -74,6 +75,7 @@ var (
 // per-message frame allocation that Encode+Wrap pays disappears from
 // the send and relay paths.
 func (e *Enveloper) WrapMessage(m *Message) ([][]byte, error) {
+	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StageFragment)
 	bp := encBufPool.Get().(*[]byte)
 	if cap(*bp) > 0 {
 		ctrEncBufReuse.Inc()
@@ -83,6 +85,9 @@ func (e *Enveloper) WrapMessage(m *Message) ([][]byte, error) {
 	frame, err := AppendEncode((*bp)[:0], m)
 	if err != nil {
 		encBufPool.Put(bp)
+		if sp.Active() {
+			sp.EndErr("encode: " + err.Error())
+		}
 		return nil, err
 	}
 	*bp = frame[:0]
@@ -90,6 +95,7 @@ func (e *Enveloper) WrapMessage(m *Message) ([][]byte, error) {
 	if cap(frame) <= maxPooledBuf {
 		encBufPool.Put(bp)
 	}
+	sp.End()
 	return out, werr
 }
 

@@ -39,6 +39,19 @@ func (s *Series) YAt(x float64) float64 {
 	return math.NaN()
 }
 
+// xIndex builds a map from x value to the index of its first sample.
+// Renderers build this once per series per render so each cell lookup
+// is O(1) instead of a linear scan over the series.
+func (s *Series) xIndex() map[float64]int {
+	idx := make(map[float64]int, len(s.X))
+	for i, x := range s.X {
+		if _, ok := idx[x]; !ok {
+			idx[x] = i
+		}
+	}
+	return idx
+}
+
 // Summary describes a series' y values.
 type Summary struct {
 	Count          int
@@ -129,23 +142,33 @@ func (t *Table) SeriesNames() []string {
 	return names
 }
 
+// axisLocked returns the distinct x values in ascending order plus one
+// x→sample-index map per series, built once so rendering an n-row,
+// k-series table costs O(n·k) cell lookups rather than O(n·k·n) scans.
+func (t *Table) axisLocked() (xs []float64, indexes []map[float64]int) {
+	xsSet := make(map[float64]bool)
+	indexes = make([]map[float64]int, len(t.series))
+	for i, s := range t.series {
+		indexes[i] = s.xIndex()
+		for x := range indexes[i] {
+			xsSet[x] = true
+		}
+	}
+	xs = make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs, indexes
+}
+
 // Render writes the table: a header row, then one row per distinct x
 // in ascending order with each series' value (blank when missing).
 func (t *Table) Render(w io.Writer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	xsSet := make(map[float64]bool)
-	for _, s := range t.series {
-		for _, x := range s.X {
-			xsSet[x] = true
-		}
-	}
-	xs := make([]float64, 0, len(xsSet))
-	for x := range xsSet {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
+	xs, indexes := t.axisLocked()
 
 	cols := make([]string, 0, len(t.series)+1)
 	cols = append(cols, t.XLabel)
@@ -179,12 +202,11 @@ func (t *Table) Render(w io.Writer) error {
 	for _, x := range xs {
 		cells := make([]string, 0, len(cols))
 		cells = append(cells, formatNum(x))
-		for _, s := range t.series {
-			y := s.YAt(x)
-			if math.IsNaN(y) {
-				cells = append(cells, "")
+		for i, s := range t.series {
+			if j, ok := indexes[i][x]; ok {
+				cells = append(cells, formatNum(s.Y[j]))
 			} else {
-				cells = append(cells, formatNum(y))
+				cells = append(cells, "")
 			}
 		}
 		if err := writeRow(cells); err != nil {
@@ -200,17 +222,7 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	xsSet := make(map[float64]bool)
-	for _, s := range t.series {
-		for _, x := range s.X {
-			xsSet[x] = true
-		}
-	}
-	xs := make([]float64, 0, len(xsSet))
-	for x := range xsSet {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
+	xs, indexes := t.axisLocked()
 
 	var sb strings.Builder
 	sb.WriteString(csvEscape(t.XLabel))
@@ -221,10 +233,10 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	sb.WriteByte('\n')
 	for _, x := range xs {
 		sb.WriteString(formatNum(x))
-		for _, s := range t.series {
+		for i, s := range t.series {
 			sb.WriteByte(',')
-			if y := s.YAt(x); !math.IsNaN(y) {
-				sb.WriteString(formatNum(y))
+			if j, ok := indexes[i][x]; ok {
+				sb.WriteString(formatNum(s.Y[j]))
 			}
 		}
 		sb.WriteByte('\n')

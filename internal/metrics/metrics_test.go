@@ -77,6 +77,54 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// Rendering must agree with YAt semantics (first sample at x wins) now
+// that renderers use a per-series x→index map instead of scanning.
+func TestRenderMatchesYAt(t *testing.T) {
+	tb := NewTable("x")
+	s := tb.Series("dup")
+	s.Add(1, 5)
+	s.Add(1, 99) // duplicate x: first occurrence must render
+	s.Add(2, 7)
+	tb.Add("sparse", 3, 4) // only present at x=3
+
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := []string{"x,dup,sparse", "1,5,", "2,7,", "3,,4"}
+	if len(lines) != len(want) {
+		t.Fatalf("csv: %q", sb.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+
+	text := tb.String()
+	if !strings.Contains(text, "5") || strings.Contains(text, "99") {
+		t.Errorf("text render should show first duplicate only: %q", text)
+	}
+}
+
+// Large-table render should scale linearly in rows; this is a sanity
+// bound, not a benchmark — quadratic YAt scans blew well past it.
+func TestRenderLargeTable(t *testing.T) {
+	tb := NewTable("x")
+	const rows = 2000
+	for _, name := range []string{"a", "b", "c"} {
+		s := tb.Series(name)
+		for i := 0; i < rows; i++ {
+			s.Add(float64(i), float64(i)*2)
+		}
+	}
+	out := tb.String()
+	if got := strings.Count(out, "\n"); got != rows+1 {
+		t.Fatalf("rendered %d lines, want %d", got, rows+1)
+	}
+}
+
 func TestRenderCSV(t *testing.T) {
 	tb := NewTable("x,axis") // comma forces escaping
 	tb.Add("a", 1, 10)

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SamplerFunc feeds one component's QoS telemetry into named gauges.
+// Implementations call set once per metric; names may carry
+// Prometheus-style labels (`client_sir_db{client="w0"}`).  The base
+// station, clients and host agents expose SampleQoS methods with this
+// shape.
+type SamplerFunc func(set func(name string, value float64))
+
+// Collector periodically samples registered components into the
+// process-global gauges: per-client SIR, service tier and
+// power-control state from base stations, RTCP loss/jitter from
+// clients, and host parameters from host agents.
+type Collector struct {
+	interval time.Duration
+
+	mu       sync.Mutex
+	samplers []SamplerFunc
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCollector creates a collector; interval <= 0 defaults to 1s.
+func NewCollector(interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Collector{interval: interval}
+}
+
+// Register adds a sampler (safe while running).
+func (c *Collector) Register(fn SamplerFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samplers = append(c.samplers, fn)
+}
+
+// SampleOnce runs every sampler immediately (deterministic snapshots
+// for tests and debug dumps).
+func (c *Collector) SampleOnce() {
+	c.mu.Lock()
+	samplers := make([]SamplerFunc, len(c.samplers))
+	copy(samplers, c.samplers)
+	c.mu.Unlock()
+	for _, fn := range samplers {
+		fn(SetGauge)
+	}
+}
+
+// Start launches the periodic sampling loop.  A second Start without
+// an intervening Stop is a no-op.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				c.SampleOnce()
+			}
+		}
+	}(c.stop, c.done)
+}
+
+// Stop halts the sampling loop and waits for it to exit.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"adaptiveqos/internal/metrics"
+)
+
+// metricPrefix namespaces every exposed metric.
+const metricPrefix = "aqos_"
+
+// sanitizeName maps an internal metric name to the exposition
+// charset: the name part becomes [a-zA-Z0-9_:], a {label="..."}
+// suffix is preserved verbatim.
+func sanitizeName(name string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	}
+	var sb strings.Builder
+	sb.Grow(len(metricPrefix) + len(name))
+	sb.WriteString(metricPrefix)
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	sb.WriteString(labels)
+	return sb.String()
+}
+
+// withLabel merges an extra label into a (possibly labeled) exposed
+// metric name: withLabel(`h{stage="x"}`, `le`, `4096`) →
+// `h{stage="x",le="4096"}`.
+func withLabel(name, key, value string) string {
+	label := key + `="` + value + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// suffixed appends a histogram-series suffix to the base part of a
+// possibly-labeled name, keeping the label block last as the
+// exposition format requires: suffixed(`h{stage="x"}`, "_count") →
+// `h_count{stage="x"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// family strips the label block: the TYPE comment names the bare
+// metric family, emitted once however many label sets it carries.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteMetrics renders every counter (internal/metrics), gauge and
+// histogram in Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error {
+	var sb strings.Builder
+	typed := make(map[string]bool)
+	declare := func(exp, kind string) {
+		if fam := family(exp); !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", fam, kind)
+		}
+	}
+
+	counters := metrics.Counters()
+	for _, name := range sortedKeys(counters) {
+		exp := sanitizeName(name)
+		declare(exp, "counter")
+		fmt.Fprintf(&sb, "%s %d\n", exp, counters[name])
+	}
+
+	gauges := Gauges()
+	for _, name := range sortedKeys(gauges) {
+		exp := sanitizeName(name)
+		declare(exp, "gauge")
+		fmt.Fprintf(&sb, "%s %g\n", exp, gauges[name])
+	}
+
+	hists := Histograms()
+	for _, name := range sortedKeys(hists) {
+		s := hists[name]
+		exp := sanitizeName(name)
+		bucket := suffixed(exp, "_bucket")
+		declare(exp, "histogram")
+		var cum uint64
+		for i, c := range s.Buckets {
+			cum += c
+			if c == 0 && i != numBuckets-1 {
+				continue // only emit occupied buckets plus +Inf
+			}
+			le := fmt.Sprintf("%d", BucketUpper(i))
+			if i == numBuckets-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(&sb, "%s %d\n", withLabel(bucket, "le", le), cum)
+		}
+		if s.Buckets[numBuckets-1] == 0 {
+			fmt.Fprintf(&sb, "%s %d\n", withLabel(bucket, "le", "+Inf"), cum)
+		}
+		fmt.Fprintf(&sb, "%s %d\n%s %d\n",
+			suffixed(exp, "_sum"), s.Sum, suffixed(exp, "_count"), s.Count)
+	}
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteQoSDebug renders the human-oriented dump: enabled state, a
+// per-stage latency quantile table, every gauge, and the most recent
+// trace events.
+func WriteQoSDebug(w io.Writer, maxEvents int) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instrumentation enabled: %v\n\n", Enabled())
+
+	fmt.Fprintf(&sb, "pipeline stage latency (ns):\n")
+	fmt.Fprintf(&sb, "%-10s %10s %12s %12s %12s %12s\n",
+		"stage", "count", "mean", "p50", "p90", "p99")
+	for _, st := range Stages() {
+		s := StageHistogram(st).Snapshot()
+		fmt.Fprintf(&sb, "%-10s %10d %12.0f %12.0f %12.0f %12.0f\n",
+			st, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99))
+	}
+
+	gauges := Gauges()
+	if len(gauges) > 0 {
+		fmt.Fprintf(&sb, "\nqos gauges:\n")
+		for _, name := range sortedKeys(gauges) {
+			fmt.Fprintf(&sb, "  %-48s %g\n", name, gauges[name])
+		}
+	}
+
+	counters := metrics.Counters()
+	if len(counters) > 0 {
+		fmt.Fprintf(&sb, "\ncounters:\n")
+		for _, name := range sortedKeys(counters) {
+			fmt.Fprintf(&sb, "  %-48s %d\n", name, counters[name])
+		}
+	}
+
+	evs := Events(maxEvents)
+	if len(evs) > 0 {
+		fmt.Fprintf(&sb, "\nrecent trace events (%d):\n", len(evs))
+		for _, ev := range evs {
+			t := time.Unix(0, ev.At).Format("15:04:05.000000")
+			fmt.Fprintf(&sb, "  %s %-5s %-10s msg=%016x", t, ev.Kind, ev.Stage, ev.MsgID)
+			if ev.NS > 0 {
+				fmt.Fprintf(&sb, " %dns", ev.NS)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(&sb, " %s", ev.Detail)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the exposition endpoints: /metrics (Prometheus text
+// format) and /debug/qos (human dump; ?events=N bounds the trace tail,
+// default 64).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/qos", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		maxEvents := 64
+		if v := r.URL.Query().Get("events"); v != "" {
+			if n, err := parsePositive(v); err == nil {
+				maxEvents = n
+			}
+		}
+		WriteQoSDebug(w, maxEvents)
+	})
+	return mux
+}
+
+// Serve starts the exposition endpoint on addr in a background
+// goroutine and returns the listening server (caller closes it).
+func Serve(addr string) (*http.Server, error) {
+	srv := &http.Server{Addr: addr, Handler: Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+func parsePositive(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("obs: bad number %q", s)
+		}
+		n = n*10 + int(s[i]-'0')
+		if n > 1<<20 {
+			return 0, fmt.Errorf("obs: number too large %q", s)
+		}
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("obs: empty number")
+	}
+	return n, nil
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// guardWorkload is the unit of real work the guard instruments: an
+// FNV-1a pass over a 128-byte buffer, roughly the cost of hashing one
+// small message header.  Big enough that timer noise does not swamp
+// it, small enough that real instrumentation overhead would show.
+func guardWorkload(buf []byte, seed uint64) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestDisabledOverheadGuard is the CI guard for the tentpole's
+// "near-free when disabled" contract: timing a workload wrapped in
+// disabled spans against the bare workload, the overhead must stay
+// under 5%.  Timing runs use min-of-rounds over fixed iteration
+// counts, which is stable enough for a 5% bound on shared CI hosts.
+func TestDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	SetEnabled(false)
+
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	const iters = 200_000
+	const rounds = 7
+
+	var sink uint64
+	bare := func() {
+		for i := 0; i < iters; i++ {
+			sink += guardWorkload(buf, uint64(i))
+		}
+	}
+	instrumented := func() {
+		for i := 0; i < iters; i++ {
+			sp := StartStage(uint64(i), StageMatch)
+			sink += guardWorkload(buf, uint64(i))
+			sp.End()
+		}
+	}
+
+	minTime := func(fn func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm up both paths, then interleave measurements so frequency
+	// scaling hits both equally.
+	bare()
+	instrumented()
+	bareBest := minTime(bare)
+	instBest := minTime(instrumented)
+	if sink == 0 {
+		t.Fatal("workload optimized away")
+	}
+
+	overhead := float64(instBest-bareBest) / float64(bareBest)
+	t.Logf("bare %v, instrumented %v, overhead %.2f%%",
+		bareBest, instBest, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("disabled instrumentation overhead %.2f%% exceeds the 5%% budget", overhead*100)
+	}
+}

@@ -1,8 +1,12 @@
 package rtp
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"adaptiveqos/internal/obs"
 )
 
 // Receiver restores sequence order for one SSRC with a bounded reorder
@@ -24,6 +28,13 @@ type Receiver struct {
 
 	// buffered out-of-order packets keyed by seq
 	buf map[uint16]Packet
+
+	// held stamps each buffered packet's arrival (UnixNano) while
+	// instrumentation is on, so the reorder stage histogram can record
+	// how long packets waited for release.  Nil entries are tolerated:
+	// packets buffered while instrumentation was off simply go
+	// unmeasured.
+	held map[uint16]int64
 
 	// statistics
 	baseSeq      uint16
@@ -75,6 +86,13 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 		return nil
 	}
 	r.buf[p.Seq] = p
+	instrumented := obs.Enabled()
+	if instrumented {
+		if r.held == nil {
+			r.held = make(map[uint16]int64)
+		}
+		r.held[p.Seq] = time.Now().UnixNano()
+	}
 
 	var out []Packet
 	// Release the contiguous run starting at next.
@@ -84,6 +102,7 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 			break
 		}
 		delete(r.buf, r.next)
+		r.observeReleaseLocked(r.next)
 		out = append(out, q)
 		r.next++
 	}
@@ -96,6 +115,10 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 		sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
 		skipped := SeqDiff(r.next, seqs[0])
 		r.lost += uint64(skipped)
+		if instrumented {
+			obs.Note(uint64(p.SSRC), obs.StageReorder,
+				fmt.Sprintf("ssrc %08x: reorder window skip, %d packets declared lost", p.SSRC, skipped))
+		}
 		r.next = seqs[0]
 		for {
 			q, ok := r.buf[r.next]
@@ -103,11 +126,25 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 				break
 			}
 			delete(r.buf, r.next)
+			r.observeReleaseLocked(r.next)
 			out = append(out, q)
 			r.next++
 		}
 	}
 	return out
+}
+
+// observeReleaseLocked records how long the released packet waited in
+// the reorder buffer (no-op for packets buffered while
+// instrumentation was off).
+func (r *Receiver) observeReleaseLocked(seq uint16) {
+	if r.held == nil {
+		return
+	}
+	if t, ok := r.held[seq]; ok {
+		obs.StageHistogram(obs.StageReorder).Observe(time.Now().UnixNano() - t)
+		delete(r.held, seq)
+	}
 }
 
 // Flush releases every buffered packet in sequence order, counting the
@@ -128,6 +165,7 @@ func (r *Receiver) Flush() []Packet {
 		r.lost += uint64(SeqDiff(r.next, s))
 		out = append(out, r.buf[s])
 		delete(r.buf, s)
+		r.observeReleaseLocked(s)
 		r.next = s + 1
 	}
 	return out

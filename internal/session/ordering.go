@@ -1,6 +1,11 @@
 package session
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"adaptiveqos/internal/obs"
+)
 
 // OrderBuffer restores the session's total event order at a replica:
 // events arrive over the multicast substrate in arbitrary order (per
@@ -12,6 +17,11 @@ type OrderBuffer struct {
 	mu      sync.Mutex
 	next    uint64
 	pending map[uint64]Event
+
+	// held stamps parked events' arrival (UnixNano) while
+	// instrumentation is on; releases feed the pipeline reorder-stage
+	// histogram so gap-induced session stalls are visible.
+	held map[uint64]int64
 }
 
 // NewOrderBuffer creates a buffer expecting sequence numbers starting
@@ -30,6 +40,12 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 		return nil
 	}
 	b.pending[ev.Seq] = ev
+	if obs.Enabled() {
+		if b.held == nil {
+			b.held = make(map[uint64]int64)
+		}
+		b.held[ev.Seq] = time.Now().UnixNano()
+	}
 	var out []Event
 	for {
 		next, ok := b.pending[b.next]
@@ -37,6 +53,12 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 			break
 		}
 		delete(b.pending, b.next)
+		if b.held != nil {
+			if t, ok := b.held[b.next]; ok {
+				obs.StageHistogram(obs.StageReorder).Observe(time.Now().UnixNano() - t)
+				delete(b.held, b.next)
+			}
+		}
 		out = append(out, next)
 		b.next++
 	}
