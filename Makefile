@@ -10,10 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent paths (selector cache, profile snapshots, fan-out
-# pool, SimNet) must stay race-clean.
+# The concurrent paths (selector cache, profile snapshots, dispatch
+# pool, sharded registry, SimNet) must stay race-clean.  The broker
+# layers run again with -count=1 so cached results never mask a race.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/dispatch/ ./internal/registry/
 
 vet:
 	$(GO) vet ./...

@@ -10,6 +10,24 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Package-boundary gate (layered broker, DESIGN.md §9): the membership
+# registry and the dispatch pipeline are deliberately ignorant of media
+# formats and radio physics.  Fail if either layer grows a dependency
+# on internal/media or internal/radio.
+for pkg in adaptiveqos/internal/registry adaptiveqos/internal/dispatch; do
+	deps=$(go list -deps "$pkg")
+	for banned in adaptiveqos/internal/media adaptiveqos/internal/radio; do
+		if echo "$deps" | grep -qx "$banned"; then
+			echo "BOUNDARY VIOLATION: $pkg depends on $banned" >&2
+			exit 1
+		fi
+	done
+done
+
+# The new broker layers' concurrency tests run with -count=1 so cached
+# results never mask a freshly introduced race.
+go test -race -count=1 ./internal/dispatch/ ./internal/registry/
+
 # Observability-layer gates (tentpole contract, DESIGN.md §8):
 # instrumentation must be race-clean under concurrent recording and
 # near-free when disabled — zero allocations on the disabled path and

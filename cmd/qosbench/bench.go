@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"adaptiveqos/internal/basestation"
@@ -12,6 +13,7 @@ import (
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/registry"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/transport"
 )
@@ -113,7 +115,43 @@ func microBenches() []struct {
 		}},
 		{"basestation-fanout-8", func(b *testing.B) { benchFanOut(b, 8) }},
 		{"basestation-fanout-64", func(b *testing.B) { benchFanOut(b, 64) }},
+		{"registry-single-64", func(b *testing.B) { benchRegistry(b, 1, 64) }},
+		{"registry-sharded-64", func(b *testing.B) { benchRegistry(b, 16, 64) }},
+		{"registry-single-512", func(b *testing.B) { benchRegistry(b, 1, 512) }},
+		{"registry-sharded-512", func(b *testing.B) { benchRegistry(b, 16, 512) }},
 	}
+}
+
+// benchRegistry mirrors BenchmarkRegistryContention from the registry
+// package: the parallel assess + snapshot hot path, sharded vs the
+// single-lock baseline (shards=1).
+func benchRegistry(b *testing.B, shards, clients int) {
+	r := registry.New(shards)
+	ids := make([]string, clients)
+	for i := range ids {
+		id := fmt.Sprintf("w%d", i)
+		ids[i] = id
+		p := profile.New(id)
+		p.Interests.SetString("media", "any")
+		r.Put(p)
+	}
+	var next atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 7919
+		for pb.Next() {
+			id := ids[i%clients]
+			a := registry.Assessment{SIRdB: float64((i/(clients*8))%17) - 8, Power: 1, Distance: 50}
+			i++
+			if err := r.PutAssessment(id, a); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, ok := r.FlatSnapshot(id); !ok {
+				b.Fatal("lost client")
+			}
+		}
+	})
 }
 
 // benchFanOut mirrors BenchmarkBaseStationFanOut from the repo bench

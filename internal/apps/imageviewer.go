@@ -219,6 +219,15 @@ func (v *ImageViewer) AddPacket(object string, idx int, data []byte) error {
 	return nil
 }
 
+// Forget drops all state for a shared image (a completed collection
+// that has been rendered and delivered, or one evicted by a TTL
+// sweep).  Unknown objects are a no-op.
+func (v *ImageViewer) Forget(object string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.images, object)
+}
+
 // Objects returns the shared-object IDs known to the viewer.
 func (v *ImageViewer) Objects() []string {
 	v.mu.RLock()

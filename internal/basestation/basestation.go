@@ -9,38 +9,33 @@
 // group while unicasting to the other wireless clients, and runs the
 // power-control loop that asks over-target clients to transmit lower —
 // conserving battery and reducing interference for everyone.
+//
+// Since the layered-broker refactor (DESIGN.md §9) this package is
+// composition plus uplink protocol handling: membership and per-client
+// radio state live in the sharded internal/registry, per-client
+// delivery runs through the internal/dispatch worker pool and
+// pipeline, and both segments are reached through dispatch transmit
+// adapters.  The wired-relay and reassembly paths are in relay.go.
 package basestation
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/dispatch"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
-	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
-	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
-	"adaptiveqos/internal/rtp"
+	"adaptiveqos/internal/registry"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/transport"
 )
-
-// fnv32 hashes a string to an RTP SSRC.
-func fnv32(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
 
 // Base-station errors.
 var (
@@ -65,10 +60,20 @@ type Config struct {
 	// AdmissionMinSIRdB, when non-zero, denies joins that would push
 	// the *joining* client below this SIR.
 	AdmissionMinSIRdB float64
-	// FanOutWorkers bounds the worker pool used to match, transform and
-	// send one relayed message to the wireless population concurrently.
-	// 0 means GOMAXPROCS; 1 forces the sequential path.
+	// FanOutWorkers is the dispatch pool's shard count: per-client
+	// delivery work is hashed over this many single-worker queues.
+	// 0 means GOMAXPROCS; 1 forces the inline sequential path.
 	FanOutWorkers int
+	// QueueDepth bounds each dispatch shard's queue (default 256);
+	// a full queue sheds work with a recorded drop.
+	QueueDepth int
+	// RegistryShards is the membership registry's lock-shard count
+	// (default registry.DefaultShards, rounded up to a power of two).
+	RegistryShards int
+	// CollectTTL bounds how long an incomplete wired-side image
+	// collection may sit idle before the sweeper evicts it (default
+	// 60s; < 0 disables the sweep).
+	CollectTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,66 +89,10 @@ func (c Config) withDefaults() Config {
 	if c.FanOutWorkers <= 0 {
 		c.FanOutWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.CollectTTL == 0 {
+		c.CollectTTL = time.Minute
+	}
 	return c
-}
-
-// Fan-out instrumentation (see DESIGN.md "Dispatch fast path").
-var (
-	ctrFanOutBatches = metrics.C(metrics.CtrFanOutBatches)
-	ctrFanOutSends   = metrics.C(metrics.CtrFanOutSends)
-	ctrFanOutWorkers = metrics.C(metrics.CtrFanOutWorkerSpawns)
-)
-
-// fanOut runs fn once per client ID through a bounded worker pool and
-// waits for completion, returning the first error (remaining clients
-// are still attempted: one slow or failed peer must not starve the
-// rest).  Per-client in-order delivery is preserved: each ID is handled
-// by exactly one fn call, and the relay loops invoke fanOut for one
-// message at a time, joining before the next message is processed.
-func (bs *BaseStation) fanOut(ids []string, fn func(id string) error) error {
-	ctrFanOutBatches.Inc()
-	ctrFanOutSends.Add(uint64(len(ids)))
-	workers := bs.cfg.FanOutWorkers
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	if workers <= 1 {
-		var firstErr error
-		for _, id := range ids {
-			if err := fn(id); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return firstErr
-	}
-	ctrFanOutWorkers.Add(uint64(workers))
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		errMu    sync.Mutex
-		firstErr error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ids) {
-					return
-				}
-				if err := fn(ids[i]); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
 }
 
 // Assessment is the basic service assessment the base station returns
@@ -168,13 +117,27 @@ type Stats struct {
 }
 
 // BaseStation links the wireless segment to the collaboration session.
+// It composes the three broker layers: the sharded membership registry
+// (profiles + radio state), the dispatch pool/pipeline (per-client
+// delivery), and the transmit adapters (wired multicast, wireless
+// unicast); what remains here is the uplink protocol and the radio
+// control plane.
 type BaseStation struct {
 	id       string
 	wired    transport.Conn // multicast session peer
 	wireless transport.Conn // radio-segment endpoint (unicast to clients)
 	cfg      Config
 	channel  *radio.Channel
-	profiles *profile.Registry
+
+	reg  *registry.Registry
+	pool *dispatch.Pool
+
+	wiredTx dispatch.Deliverer // multicast adapter (session)
+	rfTx    dispatch.Deliverer // unicast adapter (wireless clients)
+
+	// eventPipe relays one light wired-session event to one wireless
+	// client: match → tier gate → transmit.
+	eventPipe dispatch.Pipeline
 
 	env    message.Enveloper
 	unwrap *message.Unwrapper
@@ -182,12 +145,10 @@ type BaseStation struct {
 	seq atomic.Uint32
 
 	// collect reassembles wired-side image shares so the BS can
-	// transform them per wireless client.
-	collect *apps.ImageViewer
-
-	mu      sync.RWMutex
-	meta    map[string]apps.ImageMeta // announced wired shares
-	pending map[string][]pendingPkt   // data packets that beat their announce
+	// transform them per wireless client; collections tracks announce
+	// metadata, parked early packets and TTL eviction.
+	collect     *apps.ImageViewer
+	collections *registry.Collections[apps.ImageMeta]
 
 	stats struct {
 		uplinkEvents, uplinkDropped          atomic.Uint64
@@ -197,28 +158,49 @@ type BaseStation struct {
 	closeOnce sync.Once
 	wiredDone chan struct{}
 	rfDone    chan struct{}
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // New creates a base station bridging the wired multicast session and
 // the wireless segment, using channel as the radio model.  It starts
-// relay loops on both connections.
+// relay loops on both connections and the collection sweeper.
 func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg Config) *BaseStation {
+	cfg = cfg.withDefaults()
 	bs := &BaseStation{
-		id:        id,
-		wired:     wired,
-		wireless:  wireless,
-		cfg:       cfg.withDefaults(),
-		channel:   channel,
-		profiles:  profile.NewRegistry(),
-		unwrap:    message.NewUnwrapper(),
-		collect:   apps.NewImageViewer(),
-		meta:      make(map[string]apps.ImageMeta),
-		pending:   make(map[string][]pendingPkt),
-		wiredDone: make(chan struct{}),
-		rfDone:    make(chan struct{}),
+		id:          id,
+		wired:       wired,
+		wireless:    wireless,
+		cfg:         cfg,
+		channel:     channel,
+		reg:         registry.New(cfg.RegistryShards),
+		unwrap:      message.NewUnwrapper(),
+		collect:     apps.NewImageViewer(),
+		collections: registry.NewCollections[apps.ImageMeta](cfg.CollectTTL),
+		wiredDone:   make(chan struct{}),
+		rfDone:      make(chan struct{}),
+		sweepStop:   make(chan struct{}),
+		sweepDone:   make(chan struct{}),
 	}
+	bs.wiredTx = &dispatch.Multicaster{Env: &bs.env, Conn: wired}
+	bs.rfTx = &dispatch.Unicaster{Env: &bs.env, Conn: wireless,
+		OnSend: func(string) { bs.stats.downlk.Add(1) }}
+	bs.pool = dispatch.NewPool(dispatch.PoolConfig{
+		Name:       "bs-" + id,
+		Workers:    cfg.FanOutWorkers,
+		QueueDepth: cfg.QueueDepth,
+	})
+	bs.eventPipe = dispatch.NewPipeline(
+		dispatch.Match(func(id string) (selector.Attributes, bool) {
+			flat, _, ok := bs.reg.FlatSnapshot(id)
+			return flat, ok
+		}),
+		bs.tierGate(radio.TierText),
+		dispatch.Transmit(bs.rfTx),
+	)
 	go bs.wiredLoop()
 	go bs.wirelessLoop()
+	go bs.sweepLoop()
 	return bs
 }
 
@@ -237,14 +219,18 @@ func (bs *BaseStation) Stats() Stats {
 	}
 }
 
-// Close stops the relay loops and detaches both connections.
+// Close stops the relay loops, the sweeper and the dispatch pool, and
+// detaches both connections.
 func (bs *BaseStation) Close() error {
 	var err error
 	bs.closeOnce.Do(func() {
 		e1 := bs.wired.Close()
 		e2 := bs.wireless.Close()
+		close(bs.sweepStop)
 		<-bs.wiredDone
 		<-bs.rfDone
+		<-bs.sweepDone
+		bs.pool.Close()
 		if e1 != nil {
 			err = e1
 		} else {
@@ -254,118 +240,11 @@ func (bs *BaseStation) Close() error {
 	return err
 }
 
-// --- Membership ---
-
-// Join admits a wireless client at the given geometry.  The base
-// station evaluates its distance, transmitting rate and power —
-// considering the noise effect of the other wireless clients — and
-// returns the basic service assessment.
-func (bs *BaseStation) Join(p *profile.Profile, distance, power float64) (Assessment, error) {
-	if bs.cfg.MaxClients > 0 && bs.channel.Len() >= bs.cfg.MaxClients {
-		return Assessment{}, fmt.Errorf("%w: at capacity (%d)", ErrAdmission, bs.cfg.MaxClients)
-	}
-	if _, ok := bs.profiles.Get(p.ID); ok {
-		return Assessment{}, fmt.Errorf("%w: %s", ErrAlreadyJoined, p.ID)
-	}
-	if err := bs.channel.Join(p.ID, distance, power); err != nil {
-		return Assessment{}, err
-	}
-	if bs.cfg.AdmissionMinSIRdB != 0 {
-		if db, err := bs.channel.SIRdB(p.ID); err == nil && db < bs.cfg.AdmissionMinSIRdB {
-			bs.channel.Leave(p.ID)
-			return Assessment{}, fmt.Errorf("%w: SIR %.1f dB below %.1f dB",
-				ErrAdmission, db, bs.cfg.AdmissionMinSIRdB)
-		}
-	}
-	bs.profiles.Put(p)
-	return bs.Assess(p.ID)
-}
-
-// Leave removes a wireless client.
-func (bs *BaseStation) Leave(id string) error {
-	if !bs.profiles.Remove(id) {
-		return fmt.Errorf("%w: %s", ErrNotJoined, id)
-	}
-	bs.channel.Leave(id)
-	return nil
-}
-
-// Clients returns the joined wireless client IDs.
-func (bs *BaseStation) Clients() []string { return bs.profiles.IDs() }
-
-// Assess computes the current service assessment for a client.  The
-// assessment is also folded into the stored profile so the client's
-// signal state is semantically selectable.
-func (bs *BaseStation) Assess(id string) (Assessment, error) {
-	db, err := bs.channel.SIRdB(id)
-	if err != nil {
-		return Assessment{}, err
-	}
-	cl, err := bs.channel.Get(id)
-	if err != nil {
-		return Assessment{}, err
-	}
-	if _, err := bs.profiles.UpdateState(id, "sir", selector.N(db)); err != nil {
-		return Assessment{}, err
-	}
-	bs.profiles.UpdateState(id, "distance", selector.N(cl.Distance))
-	bs.profiles.UpdateState(id, "power", selector.N(cl.Power))
-	return Assessment{
-		SIRdB:    db,
-		Tier:     bs.cfg.Thresholds.TierFor(db),
-		Power:    cl.Power,
-		Distance: cl.Distance,
-	}, nil
-}
-
-// SampleQoS feeds the wireless segment's QoS state into the gauge
-// set: per-client SIR, service tier and power-control state (transmit
-// power, distance), plus the population size.  The signature matches
-// obs.SamplerFunc so the telemetry collector can register the base
-// station directly.
-func (bs *BaseStation) SampleQoS(set func(name string, value float64)) {
-	ids := bs.profiles.IDs()
-	set(`bs_clients{bs="`+bs.id+`"}`, float64(len(ids)))
-	for _, id := range ids {
-		db, err := bs.channel.SIRdB(id)
-		if err != nil {
-			continue
-		}
-		cl, err := bs.channel.Get(id)
-		if err != nil {
-			continue
-		}
-		label := `{bs="` + bs.id + `",client="` + id + `"}`
-		set("client_sir_db"+label, db)
-		set("client_tier"+label, float64(bs.cfg.Thresholds.TierFor(db)))
-		set("client_power"+label, cl.Power)
-		set("client_distance"+label, cl.Distance)
-	}
-}
-
-// SetDistance moves a wireless client (mobility).
-func (bs *BaseStation) SetDistance(id string, d float64) error {
-	return bs.channel.SetDistance(id, d)
-}
-
-// SetPower changes a wireless client's transmit power.
-func (bs *BaseStation) SetPower(id string, p float64) error {
-	return bs.channel.SetPower(id, p)
-}
-
-// Channel exposes the radio model (for experiments).
-func (bs *BaseStation) Channel() *radio.Channel { return bs.channel }
-
-// PowerControl runs one target-SIR power-control iteration and returns
-// the adjusted powers.
-func (bs *BaseStation) PowerControl(targetDB, minPower, maxPower float64) (map[string]float64, error) {
-	return bs.channel.PowerControlStep(targetDB, minPower, maxPower)
-}
-
 // --- Uplink (wireless client → session) ---
+// (Membership and radio control plane: membership.go.)
 
 func (bs *BaseStation) newMessage(kind message.Kind, sender, sel string, attrs selector.Attributes, body []byte) *message.Message {
-	m := &message.Message{
+	return &message.Message{
 		Kind:      kind,
 		Sender:    sender,
 		Seq:       bs.seq.Add(1),
@@ -374,41 +253,13 @@ func (bs *BaseStation) newMessage(kind message.Kind, sender, sel string, attrs s
 		Attrs:     attrs,
 		Body:      body,
 	}
-	return m
-}
-
-func (bs *BaseStation) multicastWired(m *message.Message) error {
-	datagrams, err := bs.env.WrapMessage(m)
-	if err != nil {
-		return err
-	}
-	for _, d := range datagrams {
-		if err := bs.wired.Multicast(d); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (bs *BaseStation) unicastWireless(to string, m *message.Message) error {
-	datagrams, err := bs.env.WrapMessage(m)
-	if err != nil {
-		return err
-	}
-	bs.stats.downlk.Add(1)
-	for _, d := range datagrams {
-		if err := bs.wireless.Unicast(to, d); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // UplinkEvent relays a plain event (chat line, whiteboard stroke) from
 // a wireless client: multicast to the session, unicast to the other
 // wireless clients.  The uplink must meet at least the text tier.
 func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) error {
-	if _, ok := bs.profiles.Get(sender); !ok {
+	if _, ok := bs.reg.Get(sender); !ok {
 		return fmt.Errorf("%w: %s", ErrNotJoined, sender)
 	}
 	assess, err := bs.Assess(sender)
@@ -428,18 +279,19 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 		message.AttrApp: selector.S(app),
 	}
 	m := bs.newMessage(message.KindEvent, sender, sel, attrs, payload)
-	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
-	if err := bs.multicastWired(m); err != nil {
+	msgID := obs.MsgID(m.Sender, m.Seq)
+	sp := obs.StartStage(msgID, obs.StagePublish)
+	if err := bs.wiredTx.Deliver("", m); err != nil {
 		if sp.Active() {
 			sp.EndErr("bs relay: " + err.Error())
 		}
 		return err
 	}
-	if err := bs.fanOut(bs.profiles.IDs(), func(id string) error {
+	if err := bs.pool.Each(msgID, bs.reg.IDs(), func(id string) error {
 		if id == sender {
 			return nil
 		}
-		return bs.unicastWireless(id, m)
+		return bs.rfTx.Deliver(id, m)
 	}); err != nil {
 		if sp.Active() {
 			sp.EndErr("bs fan-out: " + err.Error())
@@ -458,7 +310,7 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 // session; each other wireless client receives the richest modality
 // its own SIR supports (never richer than what the uplink admitted).
 func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object) error {
-	if _, ok := bs.profiles.Get(sender); !ok {
+	if _, ok := bs.reg.Get(sender); !ok {
 		return fmt.Errorf("%w: %s", ErrNotJoined, sender)
 	}
 	assess, err := bs.Assess(sender)
@@ -476,7 +328,7 @@ func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object
 	}
 
 	// Forward to the wired session at the uplink-admitted tier.
-	if err := bs.forwardTiered(sender, object, sel, obj, assess.Tier, bs.multicastWired); err != nil {
+	if err := bs.forwardTiered(sender, object, sel, obj, assess.Tier, bs.wiredTx, ""); err != nil {
 		return err
 	}
 	switch assess.Tier {
@@ -489,8 +341,8 @@ func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object
 	}
 
 	// Unicast to the other wireless clients at min(uplink tier, their
-	// own tier), each peer assessed and served by the fan-out pool.
-	if err := bs.fanOut(bs.profiles.IDs(), func(id string) error {
+	// own tier), each peer assessed and served by the dispatch pool.
+	if err := bs.pool.Each(0, bs.reg.IDs(), func(id string) error {
 		if id == sender {
 			return nil
 		}
@@ -505,319 +357,10 @@ func (bs *BaseStation) UplinkShare(sender, object, sel string, obj *media.Object
 		if tier == radio.TierNone {
 			return nil
 		}
-		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
-		return bs.forwardTiered(sender, object, sel, obj, tier, send)
+		return bs.forwardTiered(sender, object, sel, obj, tier, bs.rfTx, id)
 	}); err != nil {
 		return err
 	}
 	bs.stats.uplinkEvents.Add(1)
 	return nil
-}
-
-// forwardTiered emits the object at the given tier through send.
-// Full-image tier uses the announce + packets path so receivers can
-// still apply their own packet budgets; lower tiers deliver one
-// transformed media event.
-func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Object,
-	tier radio.Tier, send func(*message.Message) error) error {
-
-	deliver := func(o *media.Object) error {
-		payload, err := apps.EncodeMediaObject(o)
-		if err != nil {
-			return err
-		}
-		attrs := o.Attrs().Merge(selector.Attributes{
-			message.AttrApp:    selector.S(apps.AppMedia),
-			message.AttrObject: selector.S(object),
-		})
-		return send(bs.newMessage(message.KindEvent, sender, sel, attrs, payload))
-	}
-
-	switch tier {
-	case radio.TierImage:
-		if obj.Kind == media.KindImage &&
-			(obj.Format == media.FormatEZW || obj.Format == media.FormatEZWColor) {
-			meta, packets, err := apps.ShareImage(object, obj, bs.cfg.TotalPackets)
-			if err != nil {
-				return err
-			}
-			attrs := obj.Attrs().Merge(selector.Attributes{
-				message.AttrApp:    selector.S(apps.AppImageViewer),
-				message.AttrObject: selector.S(object),
-			})
-			if err := send(bs.newMessage(message.KindEvent, sender, sel, attrs, apps.EncodeImageMeta(meta))); err != nil {
-				return err
-			}
-			for i, p := range packets {
-				dattrs := selector.Attributes{
-					message.AttrApp:    selector.S(apps.AppImageViewer),
-					message.AttrObject: selector.S(object),
-					message.AttrLevel:  selector.N(float64(i)),
-				}
-				// RTP-framed like core clients' data packets.
-				rp := rtp.Packet{
-					PayloadType: 96,
-					Marker:      i == len(packets)-1,
-					Seq:         uint16(i),
-					Timestamp:   uint32(time.Now().UnixMilli()),
-					SSRC:        fnv32(bs.id + "/" + object),
-					Payload:     p,
-				}
-				if err := send(bs.newMessage(message.KindData, sender, sel, dattrs, rp.Marshal())); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		return deliver(obj)
-	case radio.TierSketch:
-		tsp := obs.StartStage(0, obs.StageTransform)
-		sk, err := bs.cfg.Registry.Transmode(obj, media.KindSketch)
-		if err != nil {
-			// Non-image content cannot be sketched; fall back to text.
-			if tsp.Active() {
-				tsp.EndErr("bs " + bs.id + ": " + object + " cannot sketch, falling back to text")
-			}
-			return bs.forwardTiered(sender, object, sel, obj, radio.TierText, send)
-		}
-		tsp.End()
-		return deliver(sk)
-	case radio.TierText:
-		tsp := obs.StartStage(0, obs.StageTransform)
-		txt, err := bs.cfg.Registry.Transmode(obj, media.KindText)
-		if err != nil {
-			if tsp.Active() {
-				tsp.EndErr("bs " + bs.id + ": " + object + " text transform failed")
-			}
-			return err
-		}
-		tsp.End()
-		return deliver(txt)
-	default:
-		return ErrNoService
-	}
-}
-
-// --- Downlink (session → wireless clients) ---
-
-func (bs *BaseStation) wiredLoop() {
-	defer close(bs.wiredDone)
-	for pkt := range bs.wired.Recv() {
-		bs.handleWired(pkt)
-	}
-}
-
-// handleWired relays wired-session traffic to the wireless clients,
-// degrading content to each client's tier.
-func (bs *BaseStation) handleWired(pkt transport.Packet) {
-	frame, err := bs.unwrap.Unwrap(pkt.From, pkt.Data)
-	if err != nil || frame == nil {
-		return
-	}
-	m, err := message.Decode(frame)
-	if err != nil {
-		return
-	}
-	if m.Sender == bs.id {
-		return
-	}
-	app, _ := m.Attr(message.AttrApp)
-	switch {
-	case m.Kind == message.KindEvent && (app.Str() == apps.AppChat || app.Str() == apps.AppWhiteboard || app.Str() == apps.AppMedia):
-		// Light events pass through to clients whose profile matches
-		// the selector and whose SIR supports at least text.  The
-		// cached compiled selector is evaluated against each client's
-		// memoized flattened profile by the fan-out pool — no per-packet
-		// profile copy or re-parse.
-		msgID := obs.MsgID(m.Sender, m.Seq)
-		bs.fanOut(bs.profiles.IDs(), func(id string) error {
-			msp := obs.StartStage(msgID, obs.StageMatch)
-			flat, _, ok := bs.profiles.FlatSnapshot(id)
-			if !ok || !m.MatchProfile(flat) {
-				msp.End()
-				return nil
-			}
-			msp.End()
-			if a, err := bs.Assess(id); err != nil || a.Tier < radio.TierText {
-				if obs.Enabled() {
-					obs.Drop(msgID, obs.StageDeliver, "bs "+bs.id+": "+id+" below text tier")
-				}
-				return nil
-			}
-			bs.unicastWireless(id, m)
-			return nil
-		})
-	case m.Kind == message.KindEvent && app.Str() == apps.AppImageViewer:
-		meta, err := apps.DecodeImageMeta(m.Body)
-		if err != nil {
-			return
-		}
-		bs.collect.Announce(meta)
-		bs.mu.Lock()
-		bs.meta[meta.Object] = meta
-		parked := bs.pending[meta.Object]
-		delete(bs.pending, meta.Object)
-		bs.mu.Unlock()
-		for _, p := range parked {
-			bs.collect.AddPacket(meta.Object, p.idx, p.data)
-		}
-		bs.maybeDeliver(m.Sender, meta.Object, m.Selector)
-	case m.Kind == message.KindData && app.Str() == apps.AppImageViewer:
-		object, ok1 := m.Attr(message.AttrObject)
-		level, ok2 := m.Attr(message.AttrLevel)
-		if !ok1 || !ok2 || len(m.Body) < rtp.HeaderLen {
-			return
-		}
-		chunk := m.Body[rtp.HeaderLen:]
-		if err := bs.collect.AddPacket(object.Str(), int(level.Num()), chunk); err != nil {
-			if errors.Is(err, apps.ErrUnknownImage) {
-				// The packet overtook its announce; park it (bounded).
-				bs.mu.Lock()
-				if len(bs.pending) < 32 && len(bs.pending[object.Str()]) < 64 {
-					bs.pending[object.Str()] = append(bs.pending[object.Str()],
-						pendingPkt{idx: int(level.Num()), data: append([]byte(nil), chunk...)})
-				}
-				bs.mu.Unlock()
-			}
-			return
-		}
-		bs.maybeDeliver(m.Sender, object.Str(), m.Selector)
-	}
-}
-
-// pendingPkt is one parked early-arriving image packet.
-type pendingPkt struct {
-	idx  int
-	data []byte
-}
-
-// maybeDeliver forwards a wired-side image to the wireless clients
-// once every packet has been collected.
-func (bs *BaseStation) maybeDeliver(sender, object, sel string) {
-	st, err := bs.collect.Stats(object)
-	if err != nil || st.PacketsAccepted != st.TotalPackets {
-		return
-	}
-	bs.deliverCollectedImage(sender, object, sel)
-}
-
-// deliverCollectedImage sends a fully collected wired-side image to
-// each wireless client at its own tier.
-func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
-	bs.mu.RLock()
-	meta := bs.meta[object]
-	bs.mu.RUnlock()
-
-	// Re-encode the collected image, preserving color when the wired
-	// share carried it (full-image-tier clients see the original hues;
-	// lower tiers go through the grayscale/sketch/text chain anyway).
-	var obj *media.Object
-	if cres, err := bs.collect.RenderColor(object); err == nil && cres.PlanesPresent == 3 {
-		obj, err = media.EncodeColorImage(cres.Image, meta.Description)
-		if err != nil {
-			return
-		}
-	} else {
-		res, err := bs.collect.Render(object)
-		if err != nil {
-			return
-		}
-		var encErr error
-		obj, encErr = media.EncodeImage(res.Image, meta.Description)
-		if encErr != nil {
-			return
-		}
-	}
-	bs.fanOut(bs.profiles.IDs(), func(id string) error {
-		// The memoized flattened view carries preferences under their
-		// prefixed names; no per-client profile copy is needed.
-		flat, _, ok := bs.profiles.FlatSnapshot(id)
-		if !ok {
-			return nil
-		}
-		a, err := bs.Assess(id)
-		if err != nil || a.Tier == radio.TierNone {
-			if obs.Enabled() {
-				obs.Drop(0, obs.StageDeliver,
-					"bs "+bs.id+": collected image "+object+" not deliverable to "+id)
-			}
-			return nil
-		}
-		// Respect the client's preferred modality when declared (e.g. a
-		// battery-saving client that switched to text mode).
-		tier := a.Tier
-		if pref, ok := flat[profile.SectionPreference+".modality"]; ok {
-			switch media.Kind(pref.Str()) {
-			case media.KindText:
-				tier = radio.TierText
-			case media.KindSketch:
-				if tier > radio.TierSketch {
-					tier = radio.TierSketch
-				}
-			}
-		}
-		send := func(m *message.Message) error { return bs.unicastWireless(id, m) }
-		bs.forwardTiered(sender, object, sel, obj, tier, send)
-		return nil
-	})
-}
-
-// wirelessLoop receives uplink frames from wireless clients over the
-// radio segment: clients transmit framework messages; the BS relays
-// them as if the client had called UplinkEvent/UplinkShare.
-func (bs *BaseStation) wirelessLoop() {
-	defer close(bs.rfDone)
-	for pkt := range bs.wireless.Recv() {
-		bs.handleWireless(pkt)
-	}
-}
-
-func (bs *BaseStation) handleWireless(pkt transport.Packet) {
-	frame, err := bs.unwrap.Unwrap("rf:"+pkt.From, pkt.Data)
-	if err != nil || frame == nil {
-		return
-	}
-	m, err := message.Decode(frame)
-	if err != nil {
-		return
-	}
-	if _, ok := bs.profiles.Get(m.Sender); !ok {
-		return // not joined: ignore
-	}
-	app, _ := m.Attr(message.AttrApp)
-	switch {
-	case m.Kind == message.KindProfile:
-		bs.applyProfileUpdate(m)
-	case m.Kind == message.KindEvent && app.Str() == apps.AppMedia:
-		obj, err := apps.DecodeMediaObject(m.Body)
-		if err != nil {
-			return
-		}
-		object, _ := m.Attr(message.AttrObject)
-		bs.UplinkShare(m.Sender, object.Str(), m.Selector, obj)
-	case m.Kind == message.KindEvent:
-		bs.UplinkEvent(m.Sender, app.Str(), m.Selector, m.Body)
-	}
-}
-
-// applyProfileUpdate folds a client's announced interests and
-// preferences into its stored profile; the paper's "change in
-// preference" path (e.g. a client switching to text mode to conserve
-// battery).
-func (bs *BaseStation) applyProfileUpdate(m *message.Message) {
-	p, ok := bs.profiles.Get(m.Sender)
-	if !ok {
-		return
-	}
-	intPrefix := profile.SectionInterest + "."
-	prefPrefix := profile.SectionPreference + "."
-	for k, v := range m.Attrs {
-		switch {
-		case strings.HasPrefix(k, intPrefix):
-			p.Interests[strings.TrimPrefix(k, intPrefix)] = v
-		case strings.HasPrefix(k, prefPrefix):
-			p.Preferences[strings.TrimPrefix(k, prefPrefix)] = v
-		}
-	}
-	bs.profiles.Put(p)
 }

@@ -103,7 +103,7 @@ func TestJoinAssessLeave(t *testing.T) {
 		t.Errorf("assessment geometry: %+v", a)
 	}
 	// The SIR is folded into the stored profile.
-	p, _ := r.bs.profiles.Get("w1")
+	p, _ := r.bs.reg.Get("w1")
 	if p.State["sir"].Num() != a.SIRdB {
 		t.Error("SIR not in profile state")
 	}
@@ -319,7 +319,7 @@ func TestDownlinkHonorsModalityPreference(t *testing.T) {
 	// must deliver text even though the SIR admits the full image.
 	p := profile.New("w1")
 	p.Preferences.SetString("modality", "text")
-	r.bs.profiles.Put(p)
+	r.bs.reg.Put(p)
 
 	obj, err := media.EncodeImage(wavelet.Circles(32, 32), "diagram")
 	if err != nil {

@@ -30,8 +30,9 @@ func fanOutFixture(t *testing.T, workers int) *BaseStation {
 	return bs
 }
 
-// fanOut must call fn exactly once per ID regardless of worker count,
-// and must report the first error while still attempting every client.
+// The dispatch pool (which replaced the bespoke fanOut) must call fn
+// exactly once per ID regardless of worker count, and must report the
+// first error while still attempting every client.
 func TestFanOutCoverage(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 64} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
@@ -42,7 +43,7 @@ func TestFanOutCoverage(t *testing.T) {
 			}
 			var mu sync.Mutex
 			seen := make(map[string]int)
-			err := bs.fanOut(ids, func(id string) error {
+			err := bs.pool.Each(0, ids, func(id string) error {
 				mu.Lock()
 				seen[id]++
 				mu.Unlock()
@@ -68,7 +69,7 @@ func TestFanOutErrorDoesNotStarvePeers(t *testing.T) {
 	ids := []string{"a", "b", "c", "d", "e", "f"}
 	boom := errors.New("boom")
 	var handled atomic.Int64
-	err := bs.fanOut(ids, func(id string) error {
+	err := bs.pool.Each(0, ids, func(id string) error {
 		handled.Add(1)
 		if id == "b" {
 			return boom
@@ -85,7 +86,7 @@ func TestFanOutErrorDoesNotStarvePeers(t *testing.T) {
 
 func TestFanOutEmpty(t *testing.T) {
 	bs := fanOutFixture(t, 4)
-	if err := bs.fanOut(nil, func(string) error {
+	if err := bs.pool.Each(0, nil, func(string) error {
 		t.Error("fn called for empty id set")
 		return nil
 	}); err != nil {

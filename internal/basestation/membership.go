@@ -1,0 +1,126 @@
+package basestation
+
+// Membership control plane: admission, departure, per-client service
+// assessment and the radio/power-control knobs.  Membership state
+// itself lives in the sharded internal/registry; these methods are the
+// policy around it (admission control, SIR → tier mapping, folding
+// assessments back into profile state).
+
+import (
+	"fmt"
+
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/registry"
+)
+
+// Join admits a wireless client at the given geometry.  The base
+// station evaluates its distance, transmitting rate and power —
+// considering the noise effect of the other wireless clients — and
+// returns the basic service assessment.
+func (bs *BaseStation) Join(p *profile.Profile, distance, power float64) (Assessment, error) {
+	if bs.cfg.MaxClients > 0 && bs.channel.Len() >= bs.cfg.MaxClients {
+		return Assessment{}, fmt.Errorf("%w: at capacity (%d)", ErrAdmission, bs.cfg.MaxClients)
+	}
+	if _, ok := bs.reg.Get(p.ID); ok {
+		return Assessment{}, fmt.Errorf("%w: %s", ErrAlreadyJoined, p.ID)
+	}
+	if err := bs.channel.Join(p.ID, distance, power); err != nil {
+		return Assessment{}, err
+	}
+	if bs.cfg.AdmissionMinSIRdB != 0 {
+		if db, err := bs.channel.SIRdB(p.ID); err == nil && db < bs.cfg.AdmissionMinSIRdB {
+			bs.channel.Leave(p.ID)
+			return Assessment{}, fmt.Errorf("%w: SIR %.1f dB below %.1f dB",
+				ErrAdmission, db, bs.cfg.AdmissionMinSIRdB)
+		}
+	}
+	bs.reg.Put(p)
+	return bs.Assess(p.ID)
+}
+
+// Leave removes a wireless client.
+func (bs *BaseStation) Leave(id string) error {
+	if !bs.reg.Remove(id) {
+		return fmt.Errorf("%w: %s", ErrNotJoined, id)
+	}
+	bs.channel.Leave(id)
+	return nil
+}
+
+// Clients returns the joined wireless client IDs.
+func (bs *BaseStation) Clients() []string { return bs.reg.IDs() }
+
+// Registry exposes the sharded membership registry (experiments,
+// future multi-base-station deployments sharing one registry).
+func (bs *BaseStation) Registry() *registry.Registry { return bs.reg }
+
+// Assess computes the current service assessment for a client.  The
+// assessment is also folded into the stored profile (one sharded-lock
+// pass) so the client's signal state is semantically selectable.
+func (bs *BaseStation) Assess(id string) (Assessment, error) {
+	db, err := bs.channel.SIRdB(id)
+	if err != nil {
+		return Assessment{}, err
+	}
+	cl, err := bs.channel.Get(id)
+	if err != nil {
+		return Assessment{}, err
+	}
+	if err := bs.reg.PutAssessment(id, registry.Assessment{
+		SIRdB: db, Power: cl.Power, Distance: cl.Distance,
+	}); err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{
+		SIRdB:    db,
+		Tier:     bs.cfg.Thresholds.TierFor(db),
+		Power:    cl.Power,
+		Distance: cl.Distance,
+	}, nil
+}
+
+// SampleQoS feeds the wireless segment's QoS state into the gauge
+// set: per-client SIR, service tier and power-control state (transmit
+// power, distance), the population size, and the dispatch pool's
+// per-shard queue depths.  The signature matches obs.SamplerFunc so
+// the telemetry collector can register the base station directly.
+func (bs *BaseStation) SampleQoS(set func(name string, value float64)) {
+	ids := bs.reg.IDs()
+	set(`bs_clients{bs="`+bs.id+`"}`, float64(len(ids)))
+	for _, id := range ids {
+		db, err := bs.channel.SIRdB(id)
+		if err != nil {
+			continue
+		}
+		cl, err := bs.channel.Get(id)
+		if err != nil {
+			continue
+		}
+		label := `{bs="` + bs.id + `",client="` + id + `"}`
+		set("client_sir_db"+label, db)
+		set("client_tier"+label, float64(bs.cfg.Thresholds.TierFor(db)))
+		set("client_power"+label, cl.Power)
+		set("client_distance"+label, cl.Distance)
+	}
+	bs.pool.SampleQoS(set)
+}
+
+// SetDistance moves a wireless client (mobility).
+func (bs *BaseStation) SetDistance(id string, d float64) error {
+	return bs.channel.SetDistance(id, d)
+}
+
+// SetPower changes a wireless client's transmit power.
+func (bs *BaseStation) SetPower(id string, p float64) error {
+	return bs.channel.SetPower(id, p)
+}
+
+// Channel exposes the radio model (for experiments).
+func (bs *BaseStation) Channel() *radio.Channel { return bs.channel }
+
+// PowerControl runs one target-SIR power-control iteration and returns
+// the adjusted powers.
+func (bs *BaseStation) PowerControl(targetDB, minPower, maxPower float64) (map[string]float64, error) {
+	return bs.channel.PowerControlStep(targetDB, minPower, maxPower)
+}

@@ -27,7 +27,7 @@ func TestWirelessPreferenceAnnouncement(t *testing.T) {
 	}
 	// The announcement lands in the BS registry.
 	waitFor(t, "preference at BS", func() bool {
-		p, ok := r.bs.profiles.Get("w1")
+		p, ok := r.bs.reg.Get("w1")
 		return ok && p.Preferences["modality"].Str() == "text"
 	})
 
@@ -54,9 +54,9 @@ func TestWirelessPreferenceAnnouncement(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = stranger
-	before := len(r.bs.profiles.IDs())
+	before := len(r.bs.reg.IDs())
 	time.Sleep(20 * time.Millisecond)
-	if len(r.bs.profiles.IDs()) != before {
+	if len(r.bs.reg.IDs()) != before {
 		t.Error("stranger changed the registry")
 	}
 }

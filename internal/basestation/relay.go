@@ -1,0 +1,378 @@
+package basestation
+
+// Downlink relay (session → wireless clients), uplink frame handling
+// (radio segment → session) and the wired-side image reassembly path.
+// Per-client delivery is expressed as dispatch pipelines/batches over
+// the transmit adapters; membership state comes from the sharded
+// registry; reassembly bookkeeping (announce metadata, parked early
+// packets, TTL eviction) lives in the registry's collection tracker.
+
+import (
+	"errors"
+	"time"
+
+	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/dispatch"
+	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/rtp"
+	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/transport"
+)
+
+// fnv32 hashes a string to an RTP SSRC.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// tierGate returns the infer-tier pipeline stage: assess the client
+// and skip it (with a recorded drop) when its service tier is below
+// min.  The assessed tier is left on the task for later stages.
+func (bs *BaseStation) tierGate(min radio.Tier) dispatch.Stage {
+	return func(t *dispatch.Task) error {
+		a, err := bs.Assess(t.To)
+		if err != nil || a.Tier < min {
+			if obs.Enabled() {
+				obs.Drop(t.MsgID, obs.StageDeliver, "bs "+bs.id+": "+t.To+" below "+min.String()+" tier")
+			}
+			return dispatch.ErrSkip
+		}
+		t.Tier = int(a.Tier)
+		return nil
+	}
+}
+
+// forwardTiered emits the object at the given tier through the
+// transmit adapter (to is ignored by the multicast adapter).
+// Full-image tier uses the announce + packets path so receivers can
+// still apply their own packet budgets; lower tiers deliver one
+// transformed media event.
+func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Object,
+	tier radio.Tier, tx dispatch.Deliverer, to string) error {
+
+	deliver := func(o *media.Object) error {
+		payload, err := apps.EncodeMediaObject(o)
+		if err != nil {
+			return err
+		}
+		attrs := o.Attrs().Merge(selector.Attributes{
+			message.AttrApp:    selector.S(apps.AppMedia),
+			message.AttrObject: selector.S(object),
+		})
+		return tx.Deliver(to, bs.newMessage(message.KindEvent, sender, sel, attrs, payload))
+	}
+
+	switch tier {
+	case radio.TierImage:
+		if obj.Kind == media.KindImage &&
+			(obj.Format == media.FormatEZW || obj.Format == media.FormatEZWColor) {
+			meta, packets, err := apps.ShareImage(object, obj, bs.cfg.TotalPackets)
+			if err != nil {
+				return err
+			}
+			attrs := obj.Attrs().Merge(selector.Attributes{
+				message.AttrApp:    selector.S(apps.AppImageViewer),
+				message.AttrObject: selector.S(object),
+			})
+			if err := tx.Deliver(to, bs.newMessage(message.KindEvent, sender, sel, attrs, apps.EncodeImageMeta(meta))); err != nil {
+				return err
+			}
+			for i, p := range packets {
+				dattrs := selector.Attributes{
+					message.AttrApp:    selector.S(apps.AppImageViewer),
+					message.AttrObject: selector.S(object),
+					message.AttrLevel:  selector.N(float64(i)),
+				}
+				// RTP-framed like core clients' data packets.
+				rp := rtp.Packet{
+					PayloadType: 96,
+					Marker:      i == len(packets)-1,
+					Seq:         uint16(i),
+					Timestamp:   uint32(time.Now().UnixMilli()),
+					SSRC:        fnv32(bs.id + "/" + object),
+					Payload:     p,
+				}
+				if err := tx.Deliver(to, bs.newMessage(message.KindData, sender, sel, dattrs, rp.Marshal())); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return deliver(obj)
+	case radio.TierSketch:
+		tsp := obs.StartStage(0, obs.StageTransform)
+		sk, err := bs.cfg.Registry.Transmode(obj, media.KindSketch)
+		if err != nil {
+			// Non-image content cannot be sketched; fall back to text.
+			if tsp.Active() {
+				tsp.EndErr("bs " + bs.id + ": " + object + " cannot sketch, falling back to text")
+			}
+			return bs.forwardTiered(sender, object, sel, obj, radio.TierText, tx, to)
+		}
+		tsp.End()
+		return deliver(sk)
+	case radio.TierText:
+		tsp := obs.StartStage(0, obs.StageTransform)
+		txt, err := bs.cfg.Registry.Transmode(obj, media.KindText)
+		if err != nil {
+			if tsp.Active() {
+				tsp.EndErr("bs " + bs.id + ": " + object + " text transform failed")
+			}
+			return err
+		}
+		tsp.End()
+		return deliver(txt)
+	default:
+		return ErrNoService
+	}
+}
+
+// --- Downlink (session → wireless clients) ---
+
+func (bs *BaseStation) wiredLoop() {
+	defer close(bs.wiredDone)
+	for pkt := range bs.wired.Recv() {
+		bs.handleWired(pkt)
+	}
+}
+
+// handleWired relays wired-session traffic to the wireless clients,
+// degrading content to each client's tier.
+func (bs *BaseStation) handleWired(pkt transport.Packet) {
+	frame, err := bs.unwrap.Unwrap(pkt.From, pkt.Data)
+	if err != nil || frame == nil {
+		return
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		return
+	}
+	if m.Sender == bs.id {
+		return
+	}
+	app, _ := m.Attr(message.AttrApp)
+	switch {
+	case m.Kind == message.KindEvent && (app.Str() == apps.AppChat || app.Str() == apps.AppWhiteboard || app.Str() == apps.AppMedia):
+		// Light events run the relay pipeline per client: match the
+		// cached compiled selector against the registry's memoized
+		// flattened profile, gate on the text tier, transmit.  The
+		// dispatch pool fans the population across its shards.
+		msgID := obs.MsgID(m.Sender, m.Seq)
+		bs.pool.Each(msgID, bs.reg.IDs(), func(id string) error {
+			t := dispatch.Task{MsgID: msgID, To: id, Msg: m}
+			return bs.eventPipe.Run(&t)
+		})
+	case m.Kind == message.KindEvent && app.Str() == apps.AppImageViewer:
+		meta, err := apps.DecodeImageMeta(m.Body)
+		if err != nil {
+			return
+		}
+		bs.collect.Announce(meta)
+		parked := bs.collections.Announce(meta.Object, meta, time.Now())
+		for _, p := range parked {
+			bs.collect.AddPacket(meta.Object, p.Idx, p.Data)
+		}
+		bs.maybeDeliver(m.Sender, meta.Object, m.Selector)
+	case m.Kind == message.KindData && app.Str() == apps.AppImageViewer:
+		object, ok1 := m.Attr(message.AttrObject)
+		level, ok2 := m.Attr(message.AttrLevel)
+		if !ok1 || !ok2 || len(m.Body) < rtp.HeaderLen {
+			return
+		}
+		chunk := m.Body[rtp.HeaderLen:]
+		if err := bs.collect.AddPacket(object.Str(), int(level.Num()), chunk); err != nil {
+			if errors.Is(err, apps.ErrUnknownImage) {
+				// The packet overtook its announce; park it (bounded).
+				bs.collections.Park(object.Str(), int(level.Num()), chunk, time.Now())
+			}
+			return
+		}
+		bs.collections.Touch(object.Str(), time.Now())
+		bs.maybeDeliver(m.Sender, object.Str(), m.Selector)
+	}
+}
+
+// maybeDeliver forwards a wired-side image to the wireless clients
+// once every packet has been collected, then purges the collection
+// state (reassembly buffers, announce metadata) — completed transfers
+// must not accumulate in the broker.
+func (bs *BaseStation) maybeDeliver(sender, object, sel string) {
+	st, err := bs.collect.Stats(object)
+	if err != nil || st.PacketsAccepted != st.TotalPackets {
+		return
+	}
+	bs.deliverCollectedImage(sender, object, sel)
+	bs.collections.Purge(object)
+	bs.collect.Forget(object)
+}
+
+// deliverCollectedImage sends a fully collected wired-side image to
+// each wireless client at its own tier.
+func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
+	meta, _ := bs.collections.Meta(object)
+
+	// Re-encode the collected image, preserving color when the wired
+	// share carried it (full-image-tier clients see the original hues;
+	// lower tiers go through the grayscale/sketch/text chain anyway).
+	var obj *media.Object
+	if cres, err := bs.collect.RenderColor(object); err == nil && cres.PlanesPresent == 3 {
+		obj, err = media.EncodeColorImage(cres.Image, meta.Description)
+		if err != nil {
+			return
+		}
+	} else {
+		res, err := bs.collect.Render(object)
+		if err != nil {
+			return
+		}
+		var encErr error
+		obj, encErr = media.EncodeImage(res.Image, meta.Description)
+		if encErr != nil {
+			return
+		}
+	}
+	// Per-client pipeline: resolve the flattened profile, infer the
+	// tier, clamp to the client's declared modality preference, then
+	// transform + transmit through forwardTiered.
+	pipe := dispatch.NewPipeline(
+		dispatch.Match(func(id string) (selector.Attributes, bool) {
+			flat, _, ok := bs.reg.FlatSnapshot(id)
+			return flat, ok
+		}),
+		func(t *dispatch.Task) error {
+			a, err := bs.Assess(t.To)
+			if err != nil || a.Tier == radio.TierNone {
+				if obs.Enabled() {
+					obs.Drop(0, obs.StageDeliver,
+						"bs "+bs.id+": collected image "+object+" not deliverable to "+t.To)
+				}
+				return dispatch.ErrSkip
+			}
+			// Respect the client's preferred modality when declared
+			// (e.g. a battery-saving client that switched to text mode).
+			tier := a.Tier
+			if pref, ok := t.Flat[profile.SectionPreference+".modality"]; ok {
+				switch media.Kind(pref.Str()) {
+				case media.KindText:
+					tier = radio.TierText
+				case media.KindSketch:
+					if tier > radio.TierSketch {
+						tier = radio.TierSketch
+					}
+				}
+			}
+			t.Tier = int(tier)
+			return nil
+		},
+		func(t *dispatch.Task) error {
+			bs.forwardTiered(sender, object, sel, obj, radio.Tier(t.Tier), bs.rfTx, t.To)
+			return nil
+		},
+	)
+	bs.pool.Each(0, bs.reg.IDs(), func(id string) error {
+		t := dispatch.Task{To: id}
+		return pipe.Run(&t)
+	})
+}
+
+// sweepLoop periodically evicts idle, never-completed collections:
+// a wired sender crashing mid-transfer or a lossy segment eating tail
+// packets must not leak reassembly buffers and announce metadata.
+func (bs *BaseStation) sweepLoop() {
+	defer close(bs.sweepDone)
+	ttl := bs.collections.TTL()
+	if ttl <= 0 {
+		<-bs.sweepStop
+		return
+	}
+	interval := ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-bs.sweepStop:
+			return
+		case now := <-ticker.C:
+			for _, object := range bs.collections.Sweep(now) {
+				bs.collect.Forget(object)
+				if obs.Enabled() {
+					obs.Drop(0, obs.StageDeliver,
+						"bs "+bs.id+": incomplete collection "+object+" expired")
+				}
+			}
+		}
+	}
+}
+
+// --- Uplink frame handling (wireless segment → relays) ---
+
+// wirelessLoop receives uplink frames from wireless clients over the
+// radio segment: clients transmit framework messages; the BS relays
+// them as if the client had called UplinkEvent/UplinkShare.
+func (bs *BaseStation) wirelessLoop() {
+	defer close(bs.rfDone)
+	for pkt := range bs.wireless.Recv() {
+		bs.handleWireless(pkt)
+	}
+}
+
+func (bs *BaseStation) handleWireless(pkt transport.Packet) {
+	frame, err := bs.unwrap.Unwrap("rf:"+pkt.From, pkt.Data)
+	if err != nil || frame == nil {
+		return
+	}
+	m, err := message.Decode(frame)
+	if err != nil {
+		return
+	}
+	if _, ok := bs.reg.Get(m.Sender); !ok {
+		return // not joined: ignore
+	}
+	app, _ := m.Attr(message.AttrApp)
+	switch {
+	case m.Kind == message.KindProfile:
+		bs.applyProfileUpdate(m)
+	case m.Kind == message.KindEvent && app.Str() == apps.AppMedia:
+		obj, err := apps.DecodeMediaObject(m.Body)
+		if err != nil {
+			return
+		}
+		object, _ := m.Attr(message.AttrObject)
+		bs.UplinkShare(m.Sender, object.Str(), m.Selector, obj)
+	case m.Kind == message.KindEvent:
+		bs.UplinkEvent(m.Sender, app.Str(), m.Selector, m.Body)
+	}
+}
+
+// applyProfileUpdate folds a client's announced interests and
+// preferences into its stored profile; the paper's "change in
+// preference" path (e.g. a client switching to text mode to conserve
+// battery).
+func (bs *BaseStation) applyProfileUpdate(m *message.Message) {
+	p, ok := bs.reg.Get(m.Sender)
+	if !ok {
+		return
+	}
+	intPrefix := profile.SectionInterest + "."
+	prefPrefix := profile.SectionPreference + "."
+	for k, v := range m.Attrs {
+		switch {
+		case len(k) > len(intPrefix) && k[:len(intPrefix)] == intPrefix:
+			p.Interests[k[len(intPrefix):]] = v
+		case len(k) > len(prefPrefix) && k[:len(prefPrefix)] == prefPrefix:
+			p.Preferences[k[len(prefPrefix):]] = v
+		}
+	}
+	bs.reg.Put(p)
+}

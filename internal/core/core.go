@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/dispatch"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/inference"
 	"adaptiveqos/internal/media"
@@ -112,6 +113,11 @@ type Client struct {
 	env    message.Enveloper
 	unwrap *message.Unwrapper
 
+	// txMulti/txUni are the shared transmit adapters (the same seam the
+	// base station's relay pipelines transmit through).
+	txMulti dispatch.Deliverer
+	txUni   dispatch.Deliverer
+
 	clock   session.LamportClock
 	rtpSend *rtp.Sender
 	rtpMu   sync.Mutex
@@ -169,6 +175,8 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 		panic(fmt.Sprintf("core: default policy: %v", err))
 	}
 	c.lastDecision = inference.Decision{PacketBudget: inference.Unlimited}
+	c.txMulti = &dispatch.Multicaster{Env: &c.env, Conn: conn}
+	c.txUni = &dispatch.Unicaster{Env: &c.env, Conn: conn}
 	go c.recvLoop()
 	return c
 }
@@ -247,30 +255,12 @@ func (c *Client) newMessage(kind message.Kind, sel string, attrs selector.Attrib
 }
 
 func (c *Client) multicast(m *message.Message) error {
-	datagrams, err := c.env.WrapMessage(m)
-	if err != nil {
-		return err
-	}
-	for _, d := range datagrams {
-		if err := c.conn.Multicast(d); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.txMulti.Deliver("", m)
 }
 
 // unicastMessage sends one message to a specific peer, enveloped.
 func (c *Client) unicastMessage(to string, m *message.Message) error {
-	datagrams, err := c.env.WrapMessage(m)
-	if err != nil {
-		return err
-	}
-	for _, d := range datagrams {
-		if err := c.conn.Unicast(to, d); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.txUni.Deliver(to, m)
 }
 
 // Say publishes a chat line addressed to profiles matching sel ("" =

@@ -1,0 +1,71 @@
+package dispatch
+
+import (
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/transport"
+)
+
+// Deliverer is the transmit adapter interface: it moves one framework
+// message to a destination.  The base station's wired multicast and
+// per-client wireless unicast paths, the core client's session sends
+// and test doubles all implement it, so pipelines and relay code
+// program against one seam regardless of segment.
+type Deliverer interface {
+	Deliver(to string, m *message.Message) error
+}
+
+// DeliverFunc adapts a function to the Deliverer interface.
+type DeliverFunc func(to string, m *message.Message) error
+
+// Deliver calls f.
+func (f DeliverFunc) Deliver(to string, m *message.Message) error { return f(to, m) }
+
+// Multicaster is the wired-segment transmit adapter: it envelopes the
+// message (fragmenting to the MTU, reusing pooled encode buffers) and
+// multicasts every datagram to the session.  The destination argument
+// is ignored — multicast has no single addressee.
+type Multicaster struct {
+	Env  *message.Enveloper
+	Conn transport.Conn
+}
+
+// Deliver envelopes m and multicasts its datagrams.
+func (mc *Multicaster) Deliver(_ string, m *message.Message) error {
+	datagrams, err := mc.Env.WrapMessage(m)
+	if err != nil {
+		return err
+	}
+	for _, d := range datagrams {
+		if err := mc.Conn.Multicast(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unicaster is the per-client transmit adapter: it envelopes the
+// message and unicasts every datagram to the addressed peer.  OnSend,
+// when set, observes each delivered message (the base station counts
+// downlink unicasts through it).
+type Unicaster struct {
+	Env    *message.Enveloper
+	Conn   transport.Conn
+	OnSend func(to string)
+}
+
+// Deliver envelopes m and unicasts its datagrams to to.
+func (uc *Unicaster) Deliver(to string, m *message.Message) error {
+	datagrams, err := uc.Env.WrapMessage(m)
+	if err != nil {
+		return err
+	}
+	if uc.OnSend != nil {
+		uc.OnSend(to)
+	}
+	for _, d := range datagrams {
+		if err := uc.Conn.Unicast(to, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

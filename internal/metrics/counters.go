@@ -93,13 +93,17 @@ func Counters() map[string]uint64 { return defaultCounters.Snapshot() }
 // fast path").  Declared here so instrumented packages and tools agree
 // on spelling.
 const (
-	CtrSelectorCacheHit    = "selector.cache.hit"
-	CtrSelectorCacheMiss   = "selector.cache.miss"
-	CtrFlattenReuse        = "profile.flatten.reuse"
-	CtrFlattenBuild        = "profile.flatten.build"
-	CtrEncodeBufReuse      = "message.encodebuf.reuse"
-	CtrEncodeBufAlloc      = "message.encodebuf.alloc"
-	CtrFanOutBatches       = "basestation.fanout.batches"
-	CtrFanOutSends         = "basestation.fanout.sends"
-	CtrFanOutWorkerSpawns  = "basestation.fanout.workers"
+	CtrSelectorCacheHit  = "selector.cache.hit"
+	CtrSelectorCacheMiss = "selector.cache.miss"
+	CtrFlattenReuse      = "profile.flatten.reuse"
+	CtrFlattenBuild      = "profile.flatten.build"
+	CtrEncodeBufReuse    = "message.encodebuf.reuse"
+	CtrEncodeBufAlloc    = "message.encodebuf.alloc"
+	// Dispatch-pool counters (exposed as aqos_dispatch_*; the pool
+	// replaced the base station's per-batch fan-out goroutines).
+	CtrDispatchBatches    = "dispatch.batches"
+	CtrDispatchJobs       = "dispatch.jobs"
+	CtrDispatchQueueDrops = "dispatch.queue.drops"
+	// Collection-tracker counters (image reassembly bookkeeping).
+	CtrCollectEvictions = "registry.collect.evictions"
 )

@@ -129,5 +129,5 @@ func sortedKeys[V any](m map[string]V) []string {
 	return names
 }
 
-func floatBits(v float64) uint64   { return math.Float64bits(v) }
-func bitsFloat(b uint64) float64   { return math.Float64frombits(b) }
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

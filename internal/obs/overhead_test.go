@@ -27,6 +27,9 @@ func TestDisabledOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive guard skipped in -short mode")
 	}
+	if raceDetectorEnabled {
+		t.Skip("race detector multiplies atomic-access cost; budget is meaningless")
+	}
 	SetEnabled(false)
 
 	buf := make([]byte, 128)
@@ -63,19 +66,25 @@ func TestDisabledOverheadGuard(t *testing.T) {
 	}
 
 	// Warm up both paths, then interleave measurements so frequency
-	// scaling hits both equally.
+	// scaling hits both equally.  A shared CI host can steal the core
+	// mid-round and inflate either side, so an over-budget reading is
+	// re-measured before it fails the guard.
 	bare()
 	instrumented()
-	bareBest := minTime(bare)
-	instBest := minTime(instrumented)
-	if sink == 0 {
-		t.Fatal("workload optimized away")
+	const attempts = 3
+	var overhead float64
+	for a := 1; a <= attempts; a++ {
+		bareBest := minTime(bare)
+		instBest := minTime(instrumented)
+		if sink == 0 {
+			t.Fatal("workload optimized away")
+		}
+		overhead = float64(instBest-bareBest) / float64(bareBest)
+		t.Logf("attempt %d: bare %v, instrumented %v, overhead %.2f%%",
+			a, bareBest, instBest, overhead*100)
+		if overhead <= 0.05 {
+			return
+		}
 	}
-
-	overhead := float64(instBest-bareBest) / float64(bareBest)
-	t.Logf("bare %v, instrumented %v, overhead %.2f%%",
-		bareBest, instBest, overhead*100)
-	if overhead > 0.05 {
-		t.Errorf("disabled instrumentation overhead %.2f%% exceeds the 5%% budget", overhead*100)
-	}
+	t.Errorf("disabled instrumentation overhead %.2f%% exceeds the 5%% budget", overhead*100)
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; timing guards skip themselves there (the detector multiplies
+// every atomic access, so the 5% budget would measure the detector,
+// not the instrumentation).
+const raceDetectorEnabled = true

@@ -44,9 +44,9 @@ const ringCapacity = 1 << 12
 // enabled pipeline appends under a mutex (the disabled path never
 // reaches it); Snapshot returns events oldest-first.
 type eventRing struct {
-	mu    sync.Mutex
-	buf   [ringCapacity]Event
-	next  uint64 // total appends; buf index is next % ringCapacity
+	mu   sync.Mutex
+	buf  [ringCapacity]Event
+	next uint64 // total appends; buf index is next % ringCapacity
 }
 
 var events eventRing

@@ -4,13 +4,15 @@ import "time"
 
 // Stage identifies one pipeline stage of a message's journey from
 // publisher to client delivery.  The set mirrors the delivery path:
-// publish → selector match → capability transform → fragmentation →
-// RTP send → reorder/release → client delivery.
+// publish → dispatch-queue wait → selector match → capability
+// transform → fragmentation → RTP send → reorder/release → client
+// delivery.
 type Stage uint8
 
 // Pipeline stages, in pipeline order.
 const (
 	StagePublish Stage = iota
+	StageQueue
 	StageMatch
 	StageTransform
 	StageFragment
@@ -23,7 +25,7 @@ const (
 // stageNames are the exported stage labels (metric names, event log,
 // /debug/qos); DESIGN.md §8 documents them.
 var stageNames = [numStages]string{
-	"publish", "match", "transform", "fragment", "rtp", "reorder", "deliver",
+	"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver",
 }
 
 // String returns the stage label.

@@ -278,6 +278,51 @@ func (r *Registry) MatchAll(sel *selector.Selector) []*Profile {
 	return out
 }
 
+// StateKV pairs one state attribute with the value to install; the
+// batch form of UpdateState takes a slice of them.
+type StateKV struct {
+	Name string
+	V    selector.Value
+}
+
+// UpdateStates mutates several state attributes of a registered
+// profile in one lock pass, bumping the version at most once.  Values
+// equal to the stored ones are skipped; when every value is unchanged
+// the call is a no-op and the memoized flattened view stays valid —
+// the same cache-friendly contract as UpdateState, paid for with one
+// lock acquisition instead of len(kvs).
+func (r *Registry) UpdateStates(id string, kvs []StateKV) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.profiles[id]
+	if !ok {
+		return fmt.Errorf("profile: unknown client %q", id)
+	}
+	changed := false
+	for _, kv := range kvs {
+		if old, ok := e.p.State[kv.Name]; !ok || !old.Equal(kv.V) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+	next := &Profile{
+		ID:           e.p.ID,
+		Interests:    e.p.Interests,
+		Preferences:  e.p.Preferences,
+		Capabilities: e.p.Capabilities,
+		State:        e.p.State.Clone(),
+		Version:      e.p.Version + 1,
+	}
+	for _, kv := range kvs {
+		next.State[kv.Name] = kv.V
+	}
+	r.profiles[id] = &regEntry{p: next}
+	return nil
+}
+
 // UpdateState mutates one state attribute of a registered profile in
 // place (bumping its version) and returns the new snapshot.  Writing a
 // value equal to the stored one is a no-op: the version does not bump

@@ -1,0 +1,66 @@
+package registry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"adaptiveqos/internal/profile"
+)
+
+// BenchmarkRegistryContention measures the assess + snapshot hot path
+// (the per-frame work the base station does for every wireless client)
+// under parallel load, comparing the sharded registry against the
+// single-lock baseline (shards=1) at the paper's small and large cell
+// populations.  The sharded layout should pull ahead as the population
+// grows: at 512 clients every assessment serializes on one mutex in
+// the baseline but only 1/16th of them collide per shard here.
+func BenchmarkRegistryContention(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		for _, clients := range []int{64, 512} {
+			b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, clients), func(b *testing.B) {
+				benchContention(b, shards, clients)
+			})
+		}
+	}
+}
+
+func benchContention(b *testing.B, shards, clients int) {
+	r := New(shards)
+	ids := make([]string, clients)
+	for i := range ids {
+		id := fmt.Sprintf("w%d", i)
+		ids[i] = id
+		p := profile.New(id)
+		p.Interests.SetString("media", "any")
+		r.Put(p)
+	}
+	var next atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stripe each goroutine across the population so parallel
+		// workers touch different clients, as real assessments do.
+		// The steady state is lock-bound: most assessments find the
+		// client hasn't moved (equal-value no-op, no clone) and every
+		// relay decision reads a snapshot; only every 64th assessment
+		// mutates.  On multi-core hosts the single lock serializes all
+		// of it while shards collide 1/16th as often (single-core CI
+		// runners show both variants flat — see DESIGN.md §9).
+		i := int(next.Add(1)) * 7919
+		for pb.Next() {
+			id := ids[i%clients]
+			// Each client keeps the same geometry for 8 consecutive
+			// visits, so 7/8 of assessments take the equal-value no-op
+			// path and the benchmark stays lock-bound, not clone-bound.
+			a := Assessment{SIRdB: float64((i/(clients*8))%17) - 8, Power: 1, Distance: 50}
+			i++
+			if err := r.PutAssessment(id, a); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, ok := r.FlatSnapshot(id); !ok {
+				b.Fatal("lost client")
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package registry is the broker's membership layer: it owns the
+// client profiles, their memoized flattened attribute views and the
+// per-client radio state (the service assessments the base station
+// folds back into each profile) behind N hash-sharded locks, so that
+// concurrent joins, departures, assessments and per-frame snapshot
+// reads contend only within a shard instead of on one broker-wide
+// mutex.  It is the first of the three broker layers (registry →
+// dispatch pipeline → transmit adapters; DESIGN.md §9) and is
+// deliberately ignorant of media formats and radio physics: it stores
+// what the upper layers tell it, keyed by client ID.
+package registry
+
+import (
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/selector"
+)
+
+// Radio-state attribute names.  The membership layer stores the
+// broker's last service assessment of each client in the profile's
+// state section under these keys, making signal state semantically
+// selectable (`state.sir >= -3`) exactly as the paper's Figure 3
+// profiles do.
+const (
+	StateSIR      = "sir"
+	StatePower    = "power"
+	StateDistance = "distance"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+// Sixteen keeps per-shard population small at the paper's cell sizes
+// while still winning at 512 clients (see BenchmarkRegistryContention).
+const DefaultShards = 16
+
+// fnv32a hashes a client ID for shard routing.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Registry is a sharded collection of client profiles.  Each shard is
+// an independent profile.Registry (with its own lock and memoized
+// flattened views); a client's shard is fixed by the FNV-1a hash of
+// its ID.  All methods are safe for concurrent use.
+type Registry struct {
+	shards []*profile.Registry
+	mask   uint32
+}
+
+// New returns a registry with the given shard count, rounded up to a
+// power of two; shards <= 0 selects DefaultShards.
+func New(shards int) *Registry {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Registry{shards: make([]*profile.Registry, n), mask: uint32(n - 1)}
+	for i := range r.shards {
+		r.shards[i] = profile.NewRegistry()
+	}
+	return r
+}
+
+// Shards returns the shard count (diagnostics, benchmarks).
+func (r *Registry) Shards() int { return len(r.shards) }
+
+func (r *Registry) shard(id string) *profile.Registry {
+	return r.shards[fnv32a(id)&r.mask]
+}
+
+// Put installs (or replaces) a profile snapshot.
+func (r *Registry) Put(p *profile.Profile) { r.shard(p.ID).Put(p) }
+
+// Get returns a copy of the profile for id.
+func (r *Registry) Get(id string) (*profile.Profile, bool) {
+	return r.shard(id).Get(id)
+}
+
+// Remove deletes the profile for id, reporting whether it was present.
+func (r *Registry) Remove(id string) bool { return r.shard(id).Remove(id) }
+
+// Len returns the number of registered profiles across all shards.
+func (r *Registry) Len() int {
+	n := 0
+	for _, s := range r.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// IDs returns the registered client IDs in unspecified order.
+func (r *Registry) IDs() []string {
+	var ids []string
+	for _, s := range r.shards {
+		ids = append(ids, s.IDs()...)
+	}
+	return ids
+}
+
+// FlatSnapshot returns the memoized flattened attribute view of the
+// profile for id and its version.  The returned map is shared and
+// immutable by contract: callers MUST NOT mutate it.
+func (r *Registry) FlatSnapshot(id string) (selector.Attributes, uint64, bool) {
+	return r.shard(id).FlatSnapshot(id)
+}
+
+// UpdateState mutates one state attribute of a registered profile.
+func (r *Registry) UpdateState(id, name string, v selector.Value) (*profile.Profile, error) {
+	return r.shard(id).UpdateState(id, name, v)
+}
+
+// MatchAll returns copies of every profile satisfying sel, evaluated
+// against the memoized flattened views shard by shard.
+func (r *Registry) MatchAll(sel *selector.Selector) []*profile.Profile {
+	var out []*profile.Profile
+	for _, s := range r.shards {
+		out = append(out, s.MatchAll(sel)...)
+	}
+	return out
+}
+
+// Assessment is the per-client radio state the broker folds into the
+// registry after assessing a client: received signal quality and the
+// power-control geometry it was derived from.  The service tier is
+// deliberately absent — it is policy (thresholds over SIR) owned by
+// the layer above, not membership state.
+type Assessment struct {
+	SIRdB    float64
+	Power    float64
+	Distance float64
+}
+
+// PutAssessment folds a client's service assessment into its stored
+// profile state (one lock pass; no version bump when the radio
+// geometry is unchanged, keeping the memoized flattened view valid).
+func (r *Registry) PutAssessment(id string, a Assessment) error {
+	return r.shard(id).UpdateStates(id, []profile.StateKV{
+		{Name: StateSIR, V: selector.N(a.SIRdB)},
+		{Name: StatePower, V: selector.N(a.Power)},
+		{Name: StateDistance, V: selector.N(a.Distance)},
+	})
+}

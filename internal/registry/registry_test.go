@@ -1,0 +1,263 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/selector"
+)
+
+func TestShardRoundingAndRouting(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := New(tc.in).Shards(); got != tc.want {
+			t.Errorf("New(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+
+	// A client's operations must all land on one shard: install via
+	// Put, read via Get/FlatSnapshot, mutate via UpdateState.
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("client-%d", i)
+		p := profile.New(id)
+		p.Interests.SetString("media", "any")
+		r.Put(p)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if len(r.IDs()) != 100 {
+		t.Fatalf("IDs = %d entries", len(r.IDs()))
+	}
+	p, ok := r.Get("client-42")
+	if !ok || p.ID != "client-42" {
+		t.Fatalf("Get: %v %v", p, ok)
+	}
+	if _, err := r.UpdateState("client-42", "sir", selector.N(3.5)); err != nil {
+		t.Fatal(err)
+	}
+	flat, _, ok := r.FlatSnapshot("client-42")
+	if !ok || flat[profile.SectionState+".sir"].Num() != 3.5 {
+		t.Fatalf("FlatSnapshot after update: %v %v", flat, ok)
+	}
+	if !r.Remove("client-42") || r.Remove("client-42") {
+		t.Fatal("Remove semantics")
+	}
+	if r.Len() != 99 {
+		t.Fatalf("Len after remove = %d", r.Len())
+	}
+}
+
+func TestPutAssessmentFoldsRadioState(t *testing.T) {
+	r := New(4)
+	r.Put(profile.New("w1"))
+	if err := r.PutAssessment("w1", Assessment{SIRdB: -2.5, Power: 0.8, Distance: 120}); err != nil {
+		t.Fatal(err)
+	}
+	flat, ver, ok := r.FlatSnapshot("w1")
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if flat[profile.SectionState+"."+StateSIR].Num() != -2.5 ||
+		flat[profile.SectionState+"."+StatePower].Num() != 0.8 ||
+		flat[profile.SectionState+"."+StateDistance].Num() != 120 {
+		t.Fatalf("radio state not folded: %v", flat)
+	}
+	// Re-asserting identical geometry must not bump the version (the
+	// memoized flattened view stays valid on the relay fast path).
+	if err := r.PutAssessment("w1", Assessment{SIRdB: -2.5, Power: 0.8, Distance: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ver2, _ := r.FlatSnapshot("w1"); ver2 != ver {
+		t.Fatalf("unchanged assessment bumped version %d → %d", ver, ver2)
+	}
+	// A moved client does bump it.
+	if err := r.PutAssessment("w1", Assessment{SIRdB: -4, Power: 0.8, Distance: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ver3, _ := r.FlatSnapshot("w1"); ver3 == ver {
+		t.Fatal("changed assessment did not bump version")
+	}
+	if err := r.PutAssessment("ghost", Assessment{}); err == nil {
+		t.Fatal("assessment of unknown client should fail")
+	}
+}
+
+func TestMatchAllAcrossShards(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 40; i++ {
+		p := profile.New(fmt.Sprintf("c%d", i))
+		if i%2 == 0 {
+			p.Interests.SetString("media", "image")
+		} else {
+			p.Interests.SetString("media", "audio")
+		}
+		r.Put(p)
+	}
+	sel, err := selector.Compile(`interest.media == "image"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.MatchAll(sel)); got != 20 {
+		t.Fatalf("MatchAll = %d, want 20", got)
+	}
+}
+
+// Concurrent Join/Leave/Assess/FlatSnapshot across shards must be
+// race-clean (run under -race in CI) and leave the registry coherent.
+func TestConcurrentChurnAndAssess(t *testing.T) {
+	r := New(8)
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-c%d", w, i)
+				p := profile.New(id)
+				p.Interests.SetString("media", "any")
+				r.Put(p)
+				if err := r.PutAssessment(id, Assessment{SIRdB: float64(i), Power: 1, Distance: 50}); err != nil {
+					t.Error(err)
+				}
+				if _, _, ok := r.FlatSnapshot(id); !ok {
+					t.Errorf("no snapshot for %s", id)
+				}
+				if i%3 == 0 {
+					r.Remove(id)
+				}
+			}
+		}(w)
+	}
+	// Readers sweep the whole population while the churn runs.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range r.IDs() {
+					r.FlatSnapshot(id)
+					r.Get(id)
+				}
+				r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	want := 0
+	for w := 0; w < 8; w++ {
+		for i := 0; i < perWorker; i++ {
+			if i%3 != 0 {
+				want++
+			}
+		}
+	}
+	if r.Len() != want {
+		t.Fatalf("Len after churn = %d, want %d", r.Len(), want)
+	}
+}
+
+func TestCollectionsLifecycle(t *testing.T) {
+	type meta struct{ Object string }
+	c := NewCollections[meta](time.Minute)
+	now := time.Now()
+
+	// Packets parked before the announce come back with it, in order.
+	if !c.Park("img", 2, []byte{2}, now) || !c.Park("img", 0, []byte{0}, now) {
+		t.Fatal("parking rejected")
+	}
+	parked := c.Announce("img", meta{"img"}, now)
+	if len(parked) != 2 || parked[0].Idx != 2 || parked[1].Idx != 0 {
+		t.Fatalf("parked = %v", parked)
+	}
+	if m, ok := c.Meta("img"); !ok || m.Object != "img" {
+		t.Fatalf("meta = %v %v", m, ok)
+	}
+	if _, ok := c.Meta("ghost"); ok {
+		t.Fatal("ghost meta")
+	}
+	if !c.Purge("img") || c.Purge("img") {
+		t.Fatal("purge semantics")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+
+	// Parking bounds: per-object and across objects.
+	for i := 0; i < 100; i++ {
+		c.Park("one", i, []byte{byte(i)}, now)
+	}
+	if got := len(c.Announce("one", meta{}, now)); got != 64 {
+		t.Fatalf("per-object bound: kept %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.Park(fmt.Sprintf("obj-%d", i), 0, nil, now)
+	}
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if len(c.Announce(fmt.Sprintf("obj-%d", i), meta{}, now)) > 0 {
+			kept++
+		}
+	}
+	if kept != 32 {
+		t.Fatalf("object bound: %d objects parked", kept)
+	}
+}
+
+func TestCollectionsSweep(t *testing.T) {
+	type meta struct{}
+	c := NewCollections[meta](100 * time.Millisecond)
+	t0 := time.Now()
+	c.Announce("old", meta{}, t0)
+	c.Park("parked-old", 0, nil, t0)
+	c.Announce("fresh", meta{}, t0.Add(90*time.Millisecond))
+
+	// Activity refreshes the clock: a touched transfer survives.
+	c.Announce("busy", meta{}, t0)
+	c.Touch("busy", t0.Add(95*time.Millisecond))
+
+	evicted := c.Sweep(t0.Add(150 * time.Millisecond))
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %v", evicted)
+	}
+	got := map[string]bool{}
+	for _, o := range evicted {
+		got[o] = true
+	}
+	if !got["old"] || !got["parked-old"] {
+		t.Fatalf("evicted %v", evicted)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len after sweep = %d", c.Len())
+	}
+
+	// After eviction the parked-object budget is released.
+	for i := 0; i < 32; i++ {
+		if !c.Park(fmt.Sprintf("p%d", i), 0, nil, t0.Add(200*time.Millisecond)) {
+			t.Fatalf("budget not released at %d", i)
+		}
+	}
+
+	// TTL <= 0 disables the sweep.
+	d := NewCollections[meta](0)
+	d.Announce("x", meta{}, t0)
+	if ev := d.Sweep(t0.Add(time.Hour)); ev != nil {
+		t.Fatalf("disabled sweep evicted %v", ev)
+	}
+}
