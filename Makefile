@@ -16,6 +16,8 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/dispatch/ ./internal/registry/
+	$(GO) test -race -count=1 ./internal/repair/
+	$(GO) test -race -count=1 -run 'TestRepairChaosMatrix|TestRepairHealedPartition|TestRepairAbandonsUnrepairableGap|TestCoordinatorDuplicateArchiveRegression' ./internal/core/
 
 vet:
 	$(GO) vet ./...

@@ -28,6 +28,13 @@ done
 # results never mask a freshly introduced race.
 go test -race -count=1 ./internal/dispatch/ ./internal/registry/
 
+# Gap-repair chaos gate (DESIGN.md §10): the seeded fault matrix
+# (loss × duplicate × jitter × healed partition) and the abandon path
+# must converge race-clean, with -count=1 so cached results never mask
+# a regression in the repair state machine or the order-buffer dedup.
+go test -race -count=1 ./internal/repair/
+go test -race -count=1 -run 'TestRepairChaosMatrix|TestRepairHealedPartition|TestRepairAbandonsUnrepairableGap|TestCoordinatorDuplicateArchiveRegression' ./internal/core/
+
 # Observability-layer gates (tentpole contract, DESIGN.md §8):
 # instrumentation must be race-clean under concurrent recording and
 # near-free when disabled — zero allocations on the disabled path and

@@ -7,12 +7,20 @@
 // Usage:
 //
 //	collab [-wired 2] [-wireless 2] [-events 40] [-seed 1]
+//	       [-loss 0] [-repair-timeout 250ms] [-repair-retries 6]
 //	       [-obs-addr :9090] [-obs-hold 0s]
 //
 // With -obs-addr, pipeline instrumentation is enabled and the
 // observability endpoint serves Prometheus-style /metrics and the
 // human /debug/qos dump for the duration of the run (-obs-hold keeps
 // the process serving after the scenario completes, for scraping).
+//
+// With -repair-timeout > 0 an archiving coordinator joins the wired
+// segment and every wired client runs the automatic gap-repair loop
+// (DESIGN.md §10): gaps stalled past the timeout are NACKed to the
+// coordinator with exponential backoff, bounded by -repair-retries.
+// Combine with -loss to watch repair close real gaps
+// (aqos_repair_requests / aqos_repair_success in /metrics).
 package main
 
 import (
@@ -27,9 +35,11 @@ import (
 	"adaptiveqos/internal/core"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/session"
 	"adaptiveqos/internal/snmp"
 	"adaptiveqos/internal/trace"
 	"adaptiveqos/internal/transport"
@@ -42,6 +52,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug/qos on this address (enables instrumentation)")
 	obsHold := flag.Duration("obs-hold", 0, "keep serving the observability endpoint this long after the run")
+	loss := flag.Float64("loss", 0, "per-frame loss probability on wired links (chaos injection)")
+	repairTimeout := flag.Duration("repair-timeout", 250*time.Millisecond, "gap stall timeout before a NACK to the coordinator (0 disables gap repair)")
+	repairRetries := flag.Int("repair-retries", 6, "repair request budget per gap before skipping it")
 	flag.Parse()
 
 	var collector *obs.Collector
@@ -58,10 +71,34 @@ func main() {
 		defer collector.Stop()
 	}
 
-	wiredNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed})
+	wiredNet := transport.NewSimNet(transport.SimNetConfig{
+		Seed:        *seed,
+		DefaultLink: transport.Link{Loss: *loss},
+	})
 	radioNet := transport.NewSimNet(transport.SimNetConfig{Seed: *seed + 1})
 	defer wiredNet.Close()
 	defer radioNet.Close()
+
+	// Archiving coordinator + gap repair: replicas NACK it for replays
+	// when a sender's event stream stalls on a missing frame.
+	var coord *core.Coordinator
+	var repairOpts *core.RepairOptions
+	if *repairTimeout > 0 {
+		coordConn, err := wiredNet.Attach("coordinator")
+		if err != nil {
+			log.Fatalf("collab: %v", err)
+		}
+		// The archive must hear everything to answer NACKs: keep the
+		// links into the coordinator clean even under -loss.
+		coord = core.NewCoordinator(coordConn, session.Group{Objective: "collab-demo"})
+		defer coord.Close()
+		repairOpts = &core.RepairOptions{
+			Coordinator:  "coordinator",
+			StallTimeout: *repairTimeout,
+			MaxRetries:   *repairRetries,
+			Seed:         *seed,
+		}
+	}
 
 	// Wired clients, the first with an SNMP-monitored host.
 	host := hostagent.NewHost("wired-0-host")
@@ -82,9 +119,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("collab: %v", err)
 		}
-		cfg := core.Config{}
+		cfg := core.Config{Repair: repairOpts}
 		if i == 0 {
 			cfg.Monitor = monitor
+		}
+		if coord != nil {
+			wiredNet.SetLinkBoth(id, "coordinator", transport.Link{})
 		}
 		c := core.NewClient(conn, cfg)
 		defer c.Close()
@@ -106,6 +146,9 @@ func main() {
 	}
 	bs := basestation.New("bs", bsWired, bsRF, radio.NewChannel(radio.Params{}), basestation.Config{})
 	defer bs.Close()
+	if coord != nil {
+		wiredNet.SetLinkBoth("bs", "coordinator", transport.Link{})
+	}
 	if collector != nil {
 		collector.Register(bs.SampleQoS)
 	}
@@ -168,6 +211,11 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 	time.Sleep(200 * time.Millisecond) // drain in-flight deliveries
+	if coord != nil && *loss > 0 {
+		// Give the repair loop time to detect stalls, NACK the
+		// coordinator and absorb the replays before the summary.
+		time.Sleep(4**repairTimeout + 500*time.Millisecond)
+	}
 
 	fmt.Println("\n--- session summary ---")
 	for _, c := range wired {
@@ -189,6 +237,13 @@ func main() {
 	if d := wired[0].LastDecision(); true {
 		fmt.Printf("final wired-0 budget: %d/16 packets (rules: %v)\n",
 			d.EffectiveBudget(16), d.Fired)
+	}
+	if coord != nil {
+		ctrs := metrics.Counters()
+		fmt.Printf("%-12s archived=%d repair: requests=%d repaired=%d abandoned=%d\n",
+			"coordinator", coord.ArchivedEvents(),
+			ctrs[metrics.CtrRepairRequests], ctrs[metrics.CtrRepairSuccess],
+			ctrs[metrics.CtrRepairAbandoned])
 	}
 
 	if collector != nil {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/session"
@@ -29,7 +31,7 @@ type Coordinator struct {
 	unwrap *message.Unwrapper
 
 	mu      sync.Mutex
-	frames  map[uint64][]byte        // session seq → original encoded frame
+	frames  map[uint64]archivedFrame // session seq → original frame + sender seq
 	streams map[string]*senderStream // per-sender arrival reordering
 	locks   *session.ObjectLocks     // distributed lock arbitration
 
@@ -37,11 +39,23 @@ type Coordinator struct {
 	loopDone  chan struct{}
 }
 
+// archivedFrame is one archived original frame plus the sender-scoped
+// sequence number it carried, so NACK-style repair requests can be
+// answered per sender without re-decoding the archive.
+type archivedFrame struct {
+	data      []byte
+	senderSeq uint32
+}
+
 // Control-message vocabulary for the history protocol.
 const (
 	attrCtrl       = "ctrl"
 	ctrlHistoryReq = "history-request"
 	attrAfterSeq   = "after-seq"
+	// attrForSender scopes a history request to one sender's frames,
+	// with attrAfterSeq then counted in that sender's own sequence
+	// space — the NACK a gap-repair loop issues.
+	attrForSender = "for-sender"
 )
 
 // NewCoordinator attaches an archiving coordinator to the substrate.
@@ -53,7 +67,7 @@ func NewCoordinator(conn transport.Conn, group session.Group) *Coordinator {
 		conn:     conn,
 		sess:     session.New(group),
 		unwrap:   message.NewUnwrapper(),
-		frames:   make(map[uint64][]byte),
+		frames:   make(map[uint64]archivedFrame),
 		streams:  make(map[string]*senderStream),
 		locks:    session.NewObjectLocks(),
 		loopDone: make(chan struct{}),
@@ -130,7 +144,11 @@ func (c *Coordinator) handle(pkt transport.Packet) {
 			if v, ok := m.Attr(attrAfterSeq); ok {
 				after = uint64(v.Num())
 			}
-			c.replay(m.Sender, after)
+			if forSender, ok := m.Attr(attrForSender); ok {
+				c.replayFor(m.Sender, forSender.Str(), uint32(after))
+			} else {
+				c.replay(m.Sender, after)
+			}
 		case ctrlLockRequest, ctrlLockRelease:
 			if object, ok := m.Attr(attrObject); ok {
 				c.handleLock(m.Sender, ctrl.Str(), object.Str())
@@ -194,12 +212,38 @@ type orderedFrame struct {
 type senderStream struct {
 	next    uint32
 	pending map[uint32]orderedFrame
+	// missing records sequence numbers the flush path skipped past
+	// without archiving: a straggler carrying one of them is genuine
+	// lost history and archives once; any other seq below next is a
+	// duplicate delivery of an already-archived frame and is dropped.
+	missing map[uint32]struct{}
 }
 
 // maxStreamPending bounds per-sender buffering; past it the stream
 // flushes in ascending order (archive completeness beats a perfect
 // order when the substrate genuinely lost a frame).
 const maxStreamPending = 64
+
+// maxStreamMissing bounds the skipped-seq memory per sender; past it
+// the oldest (smallest) entries give way and an extremely late
+// straggler is treated as a duplicate — the archive-safe direction.
+const maxStreamMissing = 1024
+
+// noteMissing records [from, to) as skipped without archiving.
+func (st *senderStream) noteMissing(from, to uint32) {
+	for s := from; s < to; s++ {
+		if len(st.missing) >= maxStreamMissing {
+			oldest, have := uint32(0), false
+			for m := range st.missing {
+				if !have || m < oldest {
+					oldest, have = m, true
+				}
+			}
+			delete(st.missing, oldest)
+		}
+		st.missing[s] = struct{}{}
+	}
+}
 
 // reorder returns the frames now releasable in the sender's order.
 func (c *Coordinator) reorder(m *message.Message, frame []byte) []orderedFrame {
@@ -210,14 +254,29 @@ func (c *Coordinator) reorder(m *message.Message, frame []byte) []orderedFrame {
 		// Framework clients number their messages from 1, so a fresh
 		// stream anchors there; a coordinator attaching mid-session
 		// catches up through the flush path below.
-		st = &senderStream{next: 1, pending: make(map[uint32]orderedFrame)}
+		st = &senderStream{
+			next:    1,
+			pending: make(map[uint32]orderedFrame),
+			missing: make(map[uint32]struct{}),
+		}
 		c.streams[m.Sender] = st
 	}
 	own := orderedFrame{msg: m, frame: append([]byte(nil), frame...)}
 	if m.Seq < st.next {
-		// A straggler from before the release point: archive it now
-		// rather than dropping history.
-		return []orderedFrame{own}
+		if _, lost := st.missing[m.Seq]; lost {
+			// A straggler the flush path skipped past: genuine lost
+			// history, archive it now (exactly once).
+			delete(st.missing, m.Seq)
+			return []orderedFrame{own}
+		}
+		// Duplicate delivery of an already-archived frame: committing
+		// it again would mint a second session event.
+		metrics.C(metrics.CtrArchiveDupDrops).Inc()
+		if obs.Enabled() {
+			obs.Drop(obs.MsgID(m.Sender, m.Seq), obs.StageReorder,
+				c.ID()+": duplicate frame from "+m.Sender+" dropped before archive")
+		}
+		return nil
 	}
 	st.pending[m.Seq] = own
 
@@ -232,7 +291,8 @@ func (c *Coordinator) reorder(m *message.Message, frame []byte) []orderedFrame {
 		st.next++
 	}
 	if len(st.pending) > maxStreamPending {
-		// Flush: a frame was probably lost.  Release in ascending order.
+		// Flush: a frame was probably lost.  Release in ascending
+		// order, remembering the skipped seqs as repairable holes.
 		seqs := make([]uint32, 0, len(st.pending))
 		for s := range st.pending {
 			seqs = append(seqs, s)
@@ -245,6 +305,7 @@ func (c *Coordinator) reorder(m *message.Message, frame []byte) []orderedFrame {
 		for _, s := range seqs {
 			out = append(out, st.pending[s])
 			delete(st.pending, s)
+			st.noteMissing(st.next, s)
 			st.next = s + 1
 		}
 	}
@@ -267,7 +328,7 @@ func (c *Coordinator) archive(m *message.Message, frame []byte) {
 		return
 	}
 	c.mu.Lock()
-	c.frames[ev.Seq] = append([]byte(nil), frame...)
+	c.frames[ev.Seq] = archivedFrame{data: append([]byte(nil), frame...), senderSeq: m.Seq}
 	c.mu.Unlock()
 }
 
@@ -278,10 +339,36 @@ func (c *Coordinator) replay(to string, after uint64) {
 	frames := make([][]byte, 0, len(events))
 	for _, ev := range events {
 		if f, ok := c.frames[ev.Seq]; ok {
-			frames = append(frames, f)
+			frames = append(frames, f.data)
 		}
 	}
 	c.mu.Unlock()
+	c.unicastFrames(to, frames)
+}
+
+// replayFor answers a NACK-style repair request: it unicasts the
+// archived frames originated by sender whose sender-scoped sequence
+// number exceeds afterSenderSeq, in archive order.  Repeated requests
+// with an advancing afterSenderSeq resume where the previous replay
+// left off, and requests for already-delivered ranges are harmless —
+// the requester's order buffer discards what it has already applied.
+func (c *Coordinator) replayFor(to, sender string, afterSenderSeq uint32) {
+	events := c.sess.History(0)
+	c.mu.Lock()
+	frames := make([][]byte, 0, 8)
+	for _, ev := range events {
+		if ev.Sender != sender {
+			continue
+		}
+		if f, ok := c.frames[ev.Seq]; ok && f.senderSeq > afterSenderSeq {
+			frames = append(frames, f.data)
+		}
+	}
+	c.mu.Unlock()
+	c.unicastFrames(to, frames)
+}
+
+func (c *Coordinator) unicastFrames(to string, frames [][]byte) {
 	for _, f := range frames {
 		datagrams, err := c.env.Wrap(f)
 		if err != nil {
@@ -315,6 +402,27 @@ func (c *Client) RequestHistory(coordinator string, afterSeq uint64) error {
 		Attrs: selector.Attributes{
 			attrCtrl:     selector.S(ctrlHistoryReq),
 			attrAfterSeq: selector.N(float64(afterSeq)),
+		},
+	}
+	return c.unicastMessage(coordinator, m)
+}
+
+// RequestHistoryFrom asks the coordinator to replay one sender's
+// archived frames with sender-scoped sequence numbers greater than
+// afterSeq — the NACK the gap-repair loop issues when that sender's
+// event stream stalls on a missing frame.  Replayed frames arrive
+// through the normal receive path and are deduplicated against
+// already-applied sequence numbers by the per-sender order buffer.
+func (c *Client) RequestHistoryFrom(coordinator, sender string, afterSeq uint64) error {
+	m := &message.Message{
+		Kind:      message.KindControl,
+		Sender:    c.ID(),
+		Seq:       c.ctrlSeq.Add(1),
+		Timestamp: time.Now(),
+		Attrs: selector.Attributes{
+			attrCtrl:      selector.S(ctrlHistoryReq),
+			attrForSender: selector.S(sender),
+			attrAfterSeq:  selector.N(float64(afterSeq)),
 		},
 	}
 	return c.unicastMessage(coordinator, m)

@@ -25,6 +25,7 @@ import (
 	"adaptiveqos/internal/message"
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/repair"
 	"adaptiveqos/internal/rtp"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/session"
@@ -64,6 +65,29 @@ type Config struct {
 	// DisableSenderAdaptation turns off RTCP-feedback-driven send-side
 	// packet reduction (on by default; see SendReceptionReports).
 	DisableSenderAdaptation bool
+	// Repair enables automatic gap repair (nil = off): event and data
+	// frames pass through per-sender order buffers, and a repair loop
+	// NACKs the named coordinator for persistent gaps (DESIGN.md §10).
+	Repair *RepairOptions
+}
+
+// RepairOptions configures the client's automatic gap-repair loop.
+type RepairOptions struct {
+	// Coordinator is the archiving coordinator NACKed for replays.
+	Coordinator string
+	// StallTimeout, MaxRetries, BaseBackoff, MaxBackoff, Interval and
+	// Seed parameterize the retry schedule; zero values take the
+	// repair package defaults.
+	StallTimeout time.Duration
+	MaxRetries   int
+	BaseBackoff  time.Duration
+	MaxBackoff   time.Duration
+	Interval     time.Duration
+	Seed         int64
+	// MaxPending bounds each sender's order buffer (default 512);
+	// overflow evicts the farthest-ahead frame so a corrupt sequence
+	// number cannot pin memory.
+	MaxPending int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +162,16 @@ type Client struct {
 	pendingMu   sync.Mutex
 	pendingData map[string][]pendingPacket
 
+	// Gap repair (cfg.Repair != nil): per-sender order buffers restore
+	// each sender's gapless event/data sequence before application;
+	// the repair engine NACKs the coordinator for persistent gaps.
+	// orderMu serializes buffer pushes AND the application of released
+	// messages, so the abandon path (engine goroutine) cannot
+	// interleave with the receive loop.
+	orderMu sync.Mutex
+	order   map[string]*senderOrder // nil = repair disabled
+	rep     *repair.Engine
+
 	stats struct {
 		received, filtered, data, errors atomic.Uint64
 	}
@@ -177,6 +211,18 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 	c.lastDecision = inference.Decision{PacketBudget: inference.Unlimited}
 	c.txMulti = &dispatch.Multicaster{Env: &c.env, Conn: conn}
 	c.txUni = &dispatch.Unicaster{Env: &c.env, Conn: conn}
+	if cfg.Repair != nil {
+		c.order = make(map[string]*senderOrder)
+		c.rep = repair.New(repair.Config{
+			StallTimeout: cfg.Repair.StallTimeout,
+			MaxRetries:   cfg.Repair.MaxRetries,
+			BaseBackoff:  cfg.Repair.BaseBackoff,
+			MaxBackoff:   cfg.Repair.MaxBackoff,
+			Interval:     cfg.Repair.Interval,
+			Seed:         cfg.Repair.Seed,
+		}, c.repairRequest, c.repairAbandon)
+		c.rep.Start()
+	}
 	go c.recvLoop()
 	return c
 }
@@ -234,6 +280,9 @@ func (c *Client) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
 		close(c.done)
+		if c.rep != nil {
+			c.rep.Stop()
+		}
 		err = c.conn.Close()
 		<-c.loopDone
 	})
@@ -421,6 +470,20 @@ func (c *Client) handleFrame(pkt transport.Packet) {
 	if m.Sender == c.ID() {
 		return // self-delivery via relays
 	}
+	if c.order != nil && (m.Kind == message.KindEvent || m.Kind == message.KindData) {
+		// Repair mode: event/data frames are gapless per sender, so
+		// they pass through the sender's order buffer first; profile
+		// filtering happens on release (a filtered frame still
+		// consumes its sequence number — it is not a gap).
+		c.ingestOrdered(m)
+		return
+	}
+	c.process(m)
+}
+
+// process interprets one decoded, ordered (or orderless-mode) message:
+// semantic profile match, Lamport witness, then application dispatch.
+func (c *Client) process(m *message.Message) {
 	msgID := obs.MsgID(m.Sender, m.Seq)
 	// Semantic interpretation: the message selector is evaluated
 	// against this client's profile; non-matching traffic is dropped
@@ -549,6 +612,98 @@ func (c *Client) handleData(m *message.Message) {
 	c.stats.data.Add(1)
 }
 
+// --- Gap repair (cfg.Repair != nil) ---
+
+// senderOrder restores one sender's gapless event/data sequence at a
+// replica: the order buffer tracks sequence state (and is what the
+// repair engine watches), msgs holds the decoded frames parked behind
+// a gap until release.
+type senderOrder struct {
+	buf  *session.OrderBuffer
+	msgs map[uint64]*message.Message
+}
+
+// defaultMaxPending bounds each sender's order buffer when
+// RepairOptions.MaxPending is zero.
+const defaultMaxPending = 512
+
+// ingestOrdered pushes an event/data frame through its sender's order
+// buffer and applies whatever becomes releasable, in order.
+// Duplicates — replayed frames already applied, or substrate
+// duplicate deliveries — are discarded here.  orderMu is held across
+// application so the abandon path cannot interleave.
+func (c *Client) ingestOrdered(m *message.Message) {
+	c.orderMu.Lock()
+	defer c.orderMu.Unlock()
+	so, ok := c.order[m.Sender]
+	if !ok {
+		so = &senderOrder{buf: session.NewOrderBuffer(0), msgs: make(map[uint64]*message.Message)}
+		limit := c.cfg.Repair.MaxPending
+		if limit <= 0 {
+			limit = defaultMaxPending
+		}
+		// Overflow evicts the farthest-ahead frame from the buffer;
+		// drop its parked payload too (runs under the buffer's lock).
+		so.buf.SetLimit(limit, func(ev session.Event) { delete(so.msgs, ev.Seq) })
+		c.order[m.Sender] = so
+		c.rep.Watch(m.Sender, so.buf)
+	}
+	seq := uint64(m.Seq)
+	so.msgs[seq] = m
+	released := so.buf.Push(session.Event{Seq: seq, Sender: m.Sender})
+	if len(released) == 0 {
+		if w, _ := so.buf.Gap(); seq < w {
+			// Already applied (or skipped): a duplicate or replay echo.
+			delete(so.msgs, seq)
+		}
+		return
+	}
+	c.applyReleasedLocked(so, released)
+}
+
+// applyReleasedLocked applies released events in order (orderMu held).
+func (c *Client) applyReleasedLocked(so *senderOrder, released []session.Event) {
+	for _, ev := range released {
+		if mm, ok := so.msgs[ev.Seq]; ok {
+			delete(so.msgs, ev.Seq)
+			c.process(mm)
+		}
+	}
+}
+
+// repairRequest is the engine's NACK callback: ask the coordinator to
+// replay the stalled sender's frames past the last applied seq.
+func (c *Client) repairRequest(stream string, afterSeq uint64, attempt int) error {
+	return c.RequestHistoryFrom(c.cfg.Repair.Coordinator, stream, afterSeq)
+}
+
+// repairAbandon is the engine's budget-exhausted callback: skip the
+// stream past the unrepairable gap so delivery resumes, noting what
+// was given up.
+func (c *Client) repairAbandon(stream string, waitingFor uint64) {
+	c.orderMu.Lock()
+	defer c.orderMu.Unlock()
+	so, ok := c.order[stream]
+	if !ok {
+		return
+	}
+	released, from, to := so.buf.Skip()
+	if to > from && obs.Enabled() {
+		obs.Drop(0, obs.StageRepair, fmt.Sprintf(
+			"%s: abandoned seqs [%d,%d) from %s", c.ID(), from, to, stream))
+	}
+	c.applyReleasedLocked(so, released)
+}
+
+// RepairStatus snapshots the per-sender gap-repair state (nil when
+// repair is disabled).
+func (c *Client) RepairStatus() map[string]repair.StreamStatus {
+	if c.rep == nil {
+		return nil
+	}
+	return c.rep.Status()
+}
+
 // pendingPacket is one parked early-arriving image packet.
 type pendingPacket struct {
 	idx  int
@@ -636,21 +791,25 @@ func (c *Client) Trap(frame []byte) {
 }
 
 // observedLoss aggregates the data-packet loss fraction across every
-// sender's RTP reception statistics.  ok is false when no data packets
-// have been seen at all.
+// sender's RTP reception statistics — expected versus unique received
+// packets, so duplicate deliveries cannot deflate the figure.  ok is
+// false when no data packets have been seen at all.
 func (c *Client) observedLoss() (float64, bool) {
 	c.rtpMu.Lock()
 	defer c.rtpMu.Unlock()
-	var received, lost uint64
+	var expected, uniq uint64
 	for _, r := range c.rtpRecv {
 		s := r.Snapshot()
-		received += s.Received
-		lost += s.Lost
+		expected += s.ExpectedTotal
+		uniq += s.Unique
 	}
-	if received+lost == 0 {
+	if expected == 0 {
 		return 0, false
 	}
-	return float64(lost) / float64(received+lost), true
+	if uniq >= expected {
+		return 0, true
+	}
+	return float64(expected-uniq) / float64(expected), true
 }
 
 // SampleQoS feeds the client's transport-level reception quality into
@@ -669,21 +828,24 @@ func (c *Client) SampleQoS(set func(name string, value float64)) {
 		snaps = append(snaps, senderStats{sender, r.Snapshot()})
 	}
 	c.rtpMu.Unlock()
-	var received, lost uint64
+	var expected, uniq uint64
 	for _, sn := range snaps {
 		label := `{client="` + c.ID() + `",sender="` + sn.sender + `"}`
 		var frac float64
-		if exp := sn.s.ExpectedTotal; exp > 0 {
-			frac = float64(sn.s.Lost) / float64(exp)
+		if exp := sn.s.ExpectedTotal; exp > sn.s.Unique {
+			frac = float64(exp-sn.s.Unique) / float64(exp)
 		}
 		set("rtp_loss_fraction"+label, frac)
 		set("rtp_jitter"+label, sn.s.Jitter)
-		received += sn.s.Received
-		lost += sn.s.Lost
+		expected += sn.s.ExpectedTotal
+		uniq += sn.s.Unique
 	}
-	if received+lost > 0 {
-		set(`client_loss_fraction{client="`+c.ID()+`"}`,
-			float64(lost)/float64(received+lost))
+	if expected > 0 {
+		var frac float64
+		if expected > uniq {
+			frac = float64(expected-uniq) / float64(expected)
+		}
+		set(`client_loss_fraction{client="`+c.ID()+`"}`, frac)
 	}
 }
 

@@ -16,7 +16,7 @@ func TestQuickCoordinatorReorder(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 + r.Intn(60) // stay under the flush threshold
 		c := &Coordinator{
-			frames:  make(map[uint64][]byte),
+			frames:  make(map[uint64]archivedFrame),
 			streams: make(map[string]*senderStream),
 		}
 		perm := r.Perm(n)
@@ -51,7 +51,7 @@ func TestQuickCoordinatorReorderWithLoss(t *testing.T) {
 	f := func(seed int64) bool {
 		_ = seed // the scenario is deterministic; quick just repeats it
 		c := &Coordinator{
-			frames:  make(map[uint64][]byte),
+			frames:  make(map[uint64]archivedFrame),
 			streams: make(map[string]*senderStream),
 		}
 		// Lose seq 1 so everything buffers until the flush threshold.

@@ -106,4 +106,13 @@ const (
 	CtrDispatchQueueDrops = "dispatch.queue.drops"
 	// Collection-tracker counters (image reassembly bookkeeping).
 	CtrCollectEvictions = "registry.collect.evictions"
+	// Gap-repair counters (internal/repair, DESIGN.md §10): NACK-style
+	// history requests issued, gaps closed by a replay, and gaps
+	// abandoned after the retry budget (exposed as aqos_repair_*).
+	CtrRepairRequests  = "repair.requests"
+	CtrRepairSuccess   = "repair.success"
+	CtrRepairAbandoned = "repair.abandoned"
+	// Duplicate frames dropped before the session archive instead of
+	// being committed as second events (coordinator straggler path).
+	CtrArchiveDupDrops = "archive.duplicate.drops"
 )

@@ -6,7 +6,9 @@ import "time"
 // publisher to client delivery.  The set mirrors the delivery path:
 // publish → dispatch-queue wait → selector match → capability
 // transform → fragmentation → RTP send → reorder/release → client
-// delivery.
+// delivery, plus the out-of-band repair stage (gap detection, NACK
+// retries and replay absorption; its histogram records stall-to-fill
+// latency rather than a span inside the live path).
 type Stage uint8
 
 // Pipeline stages, in pipeline order.
@@ -19,13 +21,14 @@ const (
 	StageRTP
 	StageReorder
 	StageDeliver
+	StageRepair
 	numStages
 )
 
 // stageNames are the exported stage labels (metric names, event log,
 // /debug/qos); DESIGN.md §8 documents them.
 var stageNames = [numStages]string{
-	"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver",
+	"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver", "repair",
 }
 
 // String returns the stage label.

@@ -40,7 +40,8 @@ type Receiver struct {
 	baseSeq      uint16
 	maxSeq       uint16
 	cycles       uint32 // seq wrap count (shifted by 16 in extended seq)
-	received     uint64
+	received     uint64 // raw push count, duplicates included
+	uniq         uint64 // distinct packets (duplicates excluded)
 	lost         uint64
 	dup          uint64
 	late         uint64
@@ -48,8 +49,19 @@ type Receiver struct {
 	lastTransit  int64
 	haveTransit  bool
 	expectedPrev uint64
-	receivedPrev uint64
+	uniqPrev     uint64
+
+	// lostSeqs remembers sequence numbers declared lost by a window
+	// skip or flush, so a late arrival of one of them is recognized as
+	// a unique (recovered) packet rather than a duplicate.  Bounded by
+	// maxLostTracked.
+	lostSeqs map[uint16]struct{}
 }
+
+// maxLostTracked bounds the declared-lost set; past it the oldest
+// entries give way (an extremely late recovery then counts as a
+// duplicate, slightly overstating loss — the safe direction).
+const maxLostTracked = 4096
 
 // NewReceiver creates a receiver with the given reorder window
 // (maximum number of buffered out-of-order packets; minimum 1).
@@ -76,8 +88,16 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 
 	r.updateStatsLocked(p, arrival)
 
-	// Late or duplicate: seq strictly before the release point.
+	// Late or duplicate: seq strictly before the release point.  A seq
+	// previously declared lost is a unique packet arriving too late to
+	// deliver (it still corrects the loss accounting); anything else
+	// below the release point is a duplicate of a delivered packet and
+	// must not count toward the received totals.
 	if SeqLess(p.Seq, r.next) {
+		if _, wasLost := r.lostSeqs[p.Seq]; wasLost {
+			delete(r.lostSeqs, p.Seq)
+			r.uniq++
+		}
 		r.late++
 		return nil
 	}
@@ -85,6 +105,7 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 		r.dup++
 		return nil
 	}
+	r.uniq++
 	r.buf[p.Seq] = p
 	instrumented := obs.Enabled()
 	if instrumented {
@@ -115,6 +136,7 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 		sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
 		skipped := SeqDiff(r.next, seqs[0])
 		r.lost += uint64(skipped)
+		r.noteLostLocked(r.next, seqs[0])
 		if instrumented {
 			obs.Note(uint64(p.SSRC), obs.StageReorder,
 				fmt.Sprintf("ssrc %08x: reorder window skip, %d packets declared lost", p.SSRC, skipped))
@@ -163,12 +185,30 @@ func (r *Receiver) Flush() []Packet {
 	out := make([]Packet, 0, len(seqs))
 	for _, s := range seqs {
 		r.lost += uint64(SeqDiff(r.next, s))
+		r.noteLostLocked(r.next, s)
 		out = append(out, r.buf[s])
 		delete(r.buf, s)
 		r.observeReleaseLocked(s)
 		r.next = s + 1
 	}
 	return out
+}
+
+// noteLostLocked records [from, to) as declared lost so late arrivals
+// of those seqs are recognized as recoveries, not duplicates.
+func (r *Receiver) noteLostLocked(from, to uint16) {
+	if r.lostSeqs == nil {
+		r.lostSeqs = make(map[uint16]struct{})
+	}
+	for s := from; s != to; s++ {
+		if len(r.lostSeqs) >= maxLostTracked {
+			for old := range r.lostSeqs {
+				delete(r.lostSeqs, old)
+				break
+			}
+		}
+		r.lostSeqs[s] = struct{}{}
+	}
 }
 
 func (r *Receiver) updateStatsLocked(p Packet, arrival uint32) {
@@ -195,7 +235,11 @@ func (r *Receiver) updateStatsLocked(p Packet, arrival uint32) {
 
 // Stats is a snapshot of reception statistics.
 type Stats struct {
-	Received   uint64
+	Received uint64 // raw packet arrivals, duplicates included
+	// Unique counts distinct packets (duplicates excluded, late
+	// recoveries of declared-lost packets included) — the RFC 3550
+	// "received" figure the expected/received loss math needs.
+	Unique     uint64
 	Lost       uint64 // declared lost by window skips/flush
 	Duplicates uint64
 	Late       uint64
@@ -212,6 +256,7 @@ func (r *Receiver) Snapshot() Stats {
 	defer r.mu.Unlock()
 	return Stats{
 		Received:      r.received,
+		Unique:        r.uniq,
 		Lost:          r.lost,
 		Duplicates:    r.dup,
 		Late:          r.late,
@@ -232,23 +277,25 @@ func (r *Receiver) expectedLocked() uint64 {
 
 // Report builds an RTCP-style receiver report block.  The fraction
 // lost covers the interval since the previous Report call, per RFC
-// 3550's expected/received interval accounting.
+// 3550's expected/received interval accounting.  The received side of
+// the interval math counts unique packets only: duplicate deliveries
+// must not deflate the cumulative or fractional loss.
 func (r *Receiver) Report(ssrc uint32) ReceiverReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	expected := r.expectedLocked()
 	expInt := expected - r.expectedPrev
-	recvInt := r.received - r.receivedPrev
+	recvInt := r.uniq - r.uniqPrev
 	r.expectedPrev = expected
-	r.receivedPrev = r.received
+	r.uniqPrev = r.uniq
 
 	var frac float64
 	if expInt > 0 && expInt > recvInt {
 		frac = float64(expInt-recvInt) / float64(expInt)
 	}
 	var cumLost int64
-	if expected > r.received {
-		cumLost = int64(expected - r.received)
+	if expected > r.uniq {
+		cumLost = int64(expected - r.uniq)
 	}
 	return ReceiverReport{
 		SSRC:         ssrc,

@@ -378,3 +378,57 @@ func TestQuickPacketRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReceiverDuplicatesDontDeflateLoss is the RFC 3550 loss-accounting
+// regression: the received side of the expected/received math must
+// count unique packets, so duplicate deliveries cannot mask real loss.
+func TestReceiverDuplicatesDontDeflateLoss(t *testing.T) {
+	r := NewReceiver(4)
+	// Sender emits seqs 0..9; seq 4 is lost on the wire.  Everything
+	// else arrives, and 0..3 arrive twice (late duplicates) plus 5..7
+	// are duplicated while still parked (in-buffer duplicates).
+	for s := uint16(0); s < 4; s++ {
+		r.Push(pkt(s, uint32(s)), uint32(s))
+		r.Push(pkt(s, uint32(s)), uint32(s)) // dup of a delivered packet
+	}
+	for s := uint16(5); s < 8; s++ {
+		r.Push(pkt(s, uint32(s)), uint32(s))
+		r.Push(pkt(s, uint32(s)), uint32(s)) // dup of a parked packet
+	}
+	r.Push(pkt(8, 8), 8) // window hits 4 → skip declares seq 4 lost
+	r.Push(pkt(9, 9), 9)
+
+	st := r.Snapshot()
+	if st.Received != 16 {
+		t.Errorf("received = %d, want 16 (raw arrivals)", st.Received)
+	}
+	if st.Unique != 9 {
+		t.Errorf("unique = %d, want 9", st.Unique)
+	}
+	if st.ExpectedTotal != 10 {
+		t.Errorf("expected = %d, want 10", st.ExpectedTotal)
+	}
+	rr := r.Report(7)
+	if rr.CumLost != 1 {
+		t.Errorf("cumLost = %d, want 1: duplicates deflated the loss", rr.CumLost)
+	}
+	if rr.FractionLost < 0.09 || rr.FractionLost > 0.11 {
+		t.Errorf("fractionLost = %g, want 0.1", rr.FractionLost)
+	}
+
+	// The lost packet finally straggles in: it is a recovery, not a
+	// duplicate, and the cumulative loss corrects itself.
+	r.Push(pkt(4, 4), 20)
+	st = r.Snapshot()
+	if st.Unique != 10 {
+		t.Errorf("unique after recovery = %d, want 10", st.Unique)
+	}
+	if rr := r.Report(7); rr.CumLost != 0 {
+		t.Errorf("cumLost after recovery = %d, want 0", rr.CumLost)
+	}
+	// ...but a second copy of it is a plain duplicate again.
+	r.Push(pkt(4, 4), 21)
+	if got := r.Snapshot().Unique; got != 10 {
+		t.Errorf("unique after re-duplicate = %d, want 10", got)
+	}
+}

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -18,6 +19,13 @@ type OrderBuffer struct {
 	next    uint64
 	pending map[uint64]Event
 
+	// limit bounds pending (0 = unlimited): a corrupt or far-future
+	// sequence number must not park events forever, so overflow evicts
+	// the farthest-ahead event and counts the eviction.
+	limit    int
+	overflow uint64
+	onEvict  func(Event)
+
 	// held stamps parked events' arrival (UnixNano) while
 	// instrumentation is on; releases feed the pipeline reorder-stage
 	// histogram so gap-induced session stalls are visible.
@@ -31,6 +39,26 @@ func NewOrderBuffer(afterSeq uint64) *OrderBuffer {
 	return &OrderBuffer{next: afterSeq + 1, pending: make(map[uint64]Event)}
 }
 
+// SetLimit bounds the parked-event count to n (0 = unlimited).  When a
+// Push would exceed the bound, the farthest-ahead event is evicted:
+// onEvict (optional) observes it, Overflow counts it, and the gap the
+// buffer is stalled on stays visible through Gap so a repair loop can
+// act.  onEvict runs with the buffer lock held and must not call back
+// into the buffer.
+func (b *OrderBuffer) SetLimit(n int, onEvict func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.limit = n
+	b.onEvict = onEvict
+}
+
+// Overflow returns the number of events evicted by the SetLimit bound.
+func (b *OrderBuffer) Overflow() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.overflow
+}
+
 // Push ingests an event and returns the events now releasable in
 // order.  Duplicates and already-released events are ignored.
 func (b *OrderBuffer) Push(ev Event) []Event {
@@ -39,6 +67,33 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 	if ev.Seq < b.next {
 		return nil
 	}
+	if _, dup := b.pending[ev.Seq]; !dup && b.limit > 0 && len(b.pending) >= b.limit {
+		// Full: keep the events nearest the gap (they release first)
+		// and evict whichever of {farthest parked, new} is farther.
+		far := ev.Seq
+		for s := range b.pending {
+			if s > far {
+				far = s
+			}
+		}
+		b.overflow++
+		if obs.Enabled() {
+			obs.Note(0, obs.StageReorder,
+				fmt.Sprintf("order buffer overflow: evicting seq %d (limit %d, waiting for %d)", far, b.limit, b.next))
+		}
+		if far == ev.Seq {
+			if b.onEvict != nil {
+				b.onEvict(ev)
+			}
+			return nil
+		}
+		evicted := b.pending[far]
+		delete(b.pending, far)
+		delete(b.held, far)
+		if b.onEvict != nil {
+			b.onEvict(evicted)
+		}
+	}
 	b.pending[ev.Seq] = ev
 	if obs.Enabled() {
 		if b.held == nil {
@@ -46,6 +101,11 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 		}
 		b.held[ev.Seq] = time.Now().UnixNano()
 	}
+	return b.releaseLocked()
+}
+
+// releaseLocked drains the contiguous run starting at next.
+func (b *OrderBuffer) releaseLocked() []Event {
 	var out []Event
 	for {
 		next, ok := b.pending[b.next]
@@ -63,6 +123,29 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 		b.next++
 	}
 	return out
+}
+
+// Skip abandons the gap the buffer is stalled on: it advances next to
+// the smallest parked sequence number and returns the events now
+// releasable in order, plus the skipped range [from, to).  With
+// nothing parked it is a no-op (from == to).  Repair loops call this
+// when their retry budget is exhausted, trading the lost events for
+// liveness.
+func (b *OrderBuffer) Skip() (released []Event, from, to uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.next
+	if len(b.pending) == 0 {
+		return nil, from, from
+	}
+	min := uint64(0)
+	for s := range b.pending {
+		if min == 0 || s < min {
+			min = s
+		}
+	}
+	b.next = min
+	return b.releaseLocked(), from, min
 }
 
 // Gap reports the first missing sequence number the buffer is waiting

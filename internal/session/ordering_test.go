@@ -1,0 +1,85 @@
+package session
+
+import "testing"
+
+func TestOrderBufferLimitEvictsFarthest(t *testing.T) {
+	b := NewOrderBuffer(0)
+	var evicted []uint64
+	b.SetLimit(3, func(ev Event) { evicted = append(evicted, ev.Seq) })
+	ev := func(seq uint64) Event { return Event{Seq: seq} }
+
+	// Seq 1 is missing; park 3 far-ahead events to fill the bound.
+	for _, s := range []uint64{5, 3, 9} {
+		if out := b.Push(ev(s)); out != nil {
+			t.Fatalf("seq %d released across the gap", s)
+		}
+	}
+	// A nearer event displaces the farthest parked one (9).
+	if out := b.Push(ev(2)); out != nil {
+		t.Fatal("2 released while 1 is missing")
+	}
+	if len(evicted) != 1 || evicted[0] != 9 {
+		t.Fatalf("evicted = %v, want [9]", evicted)
+	}
+	// A farther-than-everything event is rejected outright.
+	if out := b.Push(ev(100)); out != nil {
+		t.Fatal("100 released")
+	}
+	if len(evicted) != 2 || evicted[1] != 100 {
+		t.Fatalf("evicted = %v, want [9 100]", evicted)
+	}
+	if got := b.Overflow(); got != 2 {
+		t.Errorf("overflow = %d, want 2", got)
+	}
+	// The gap stays visible and, once filled, the survivors release:
+	// near-gap events were kept, so 1..3 and 5 come out in order.
+	if w, parked := b.Gap(); w != 1 || parked != 3 {
+		t.Fatalf("gap = %d/%d, want 1/3", w, parked)
+	}
+	out := b.Push(ev(1))
+	want := []uint64{1, 2, 3}
+	if len(out) != len(want) {
+		t.Fatalf("released %d events, want %d", len(out), len(want))
+	}
+	for i, ev := range out {
+		if ev.Seq != want[i] {
+			t.Errorf("release[%d] = %d, want %d", i, ev.Seq, want[i])
+		}
+	}
+	// Duplicates of parked events never trigger eviction.
+	before := b.Overflow()
+	b.Push(ev(5))
+	b.Push(ev(5))
+	b.Push(ev(5))
+	if b.Overflow() != before {
+		t.Error("duplicate of a parked event counted as overflow")
+	}
+}
+
+func TestOrderBufferSkip(t *testing.T) {
+	b := NewOrderBuffer(0)
+	ev := func(seq uint64) Event { return Event{Seq: seq} }
+
+	// Nothing parked: Skip is a no-op.
+	if rel, from, to := b.Skip(); rel != nil || from != to {
+		t.Fatalf("empty skip = %v [%d,%d)", rel, from, to)
+	}
+
+	b.Push(ev(4))
+	b.Push(ev(5))
+	b.Push(ev(7))
+	rel, from, to := b.Skip()
+	if from != 1 || to != 4 {
+		t.Fatalf("skipped [%d,%d), want [1,4)", from, to)
+	}
+	if len(rel) != 2 || rel[0].Seq != 4 || rel[1].Seq != 5 {
+		t.Fatalf("released = %v, want seqs 4,5", rel)
+	}
+	if w, parked := b.Gap(); w != 6 || parked != 1 {
+		t.Errorf("gap after skip = %d/%d, want 6/1", w, parked)
+	}
+	// The stream continues normally past the skipped range.
+	if out := b.Push(ev(6)); len(out) != 2 || out[0].Seq != 6 || out[1].Seq != 7 {
+		t.Errorf("post-skip release = %v", out)
+	}
+}

@@ -351,6 +351,14 @@ func (c *simConn) Close() error {
 
 	c.net.mu.Lock()
 	delete(c.net.nodes, c.id)
+	// Purge the detached node's serialization state: linkBusy entries
+	// are keyed per directed pair and would otherwise accumulate
+	// forever under attach/detach churn.
+	for k := range c.net.linkBusy {
+		if k.from == c.id || k.to == c.id {
+			delete(c.net.linkBusy, k)
+		}
+	}
 	c.net.mu.Unlock()
 	close(c.inbox)
 	return nil

@@ -316,3 +316,56 @@ func TestSimNetManyNodesBroadcastStress(t *testing.T) {
 		}
 	}
 }
+
+// TestSimNetLinkBusyPurgedOnClose is the leak regression: the
+// per-directed-pair serialization map must not accumulate entries for
+// detached nodes under attach/detach churn.
+func TestSimNetLinkBusyPurgedOnClose(t *testing.T) {
+	net := NewSimNet(SimNetConfig{
+		Seed:        3,
+		DefaultLink: Link{BandwidthBps: 1e6}, // finite bandwidth populates linkBusy
+	})
+	defer net.Close()
+	hub, _ := net.Attach("hub")
+	go func() { // drain the hub so deliveries don't pile up
+		for range hub.Recv() {
+		}
+	}()
+
+	for round := 0; round < 5; round++ {
+		id := fmt.Sprintf("churn-%d", round)
+		c, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Multicast([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.Unicast(id, []byte("reply")); err != nil {
+			t.Fatal(err)
+		}
+		net.mu.Lock()
+		populated := len(net.linkBusy) > 0
+		net.mu.Unlock()
+		if !populated {
+			t.Fatal("test precondition: bandwidth-limited sends should populate linkBusy")
+		}
+		c.Close()
+		net.mu.Lock()
+		for k := range net.linkBusy {
+			if k.from == id || k.to == id {
+				t.Errorf("round %d: linkBusy leaked %v after close", round, k)
+			}
+		}
+		net.mu.Unlock()
+	}
+
+	// After every churn node detached, only hub-internal state may
+	// remain (and hub has no one to talk to, so: nothing).
+	net.mu.Lock()
+	n := len(net.linkBusy)
+	net.mu.Unlock()
+	if n != 0 {
+		t.Errorf("linkBusy retains %d entries after all peers detached", n)
+	}
+}
