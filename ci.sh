@@ -42,3 +42,18 @@ go test -race -count=1 -run 'TestRepairChaosMatrix|TestRepairHealedPartition|Tes
 go test -race -count=1 ./internal/obs/
 go test -count=1 -run 'TestDisabledPathZeroAllocs|TestEnabledSpanZeroAllocs' ./internal/obs/
 go test -count=1 -run TestDisabledOverheadGuard -v ./internal/obs/
+
+# Flight-recorder gates (DESIGN.md §11): the wire trace extension, the
+# hop store and the inference decision audit must be race-clean end to
+# end — envelope round-trip, fragmentation survival, repair replay,
+# audit ring — with -count=1 so cached results never mask a regression.
+go test -race -count=1 -run 'TestTrace|TestFlight' ./internal/message/ ./internal/obs/
+go test -race -count=1 -run 'TestDecide|TestAudit|TestDebugDecisions' ./internal/inference/
+go test -race -count=1 -run 'TestTraceTimelineEndToEnd|TestRepairReplayAppendsRepairHop' ./internal/core/
+go test -count=1 -run TestDefaultCounterFamiliesPreTouched ./internal/metrics/
+
+# Disabled tracing must stay zero-alloc, and enabling it must cost
+# under 5% on the dispatch-representative workload (non-race: the race
+# runtime distorts timing, the guards skip themselves under -race).
+go test -count=1 -run 'TestTraceDisabledZeroAllocs|TestTraceDisabledWrapZeroAllocs' ./internal/obs/ ./internal/message/
+go test -count=1 -run TestTraceOverheadGuard -v ./internal/obs/

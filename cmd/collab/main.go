@@ -8,12 +8,17 @@
 //
 //	collab [-wired 2] [-wireless 2] [-events 40] [-seed 1]
 //	       [-loss 0] [-repair-timeout 250ms] [-repair-retries 6]
-//	       [-obs-addr :9090] [-obs-hold 0s]
+//	       [-obs-addr :9090] [-obs-hold 0s] [-trace]
 //
 // With -obs-addr, pipeline instrumentation is enabled and the
 // observability endpoint serves Prometheus-style /metrics and the
 // human /debug/qos dump for the duration of the run (-obs-hold keeps
 // the process serving after the scenario completes, for scraping).
+//
+// With -trace, the cross-node flight recorder is enabled: every frame
+// carries the wire trace extension, each node appends per-stage hops,
+// and the run summary prints one sampled end-to-end timeline.  Combine
+// with -obs-addr to browse every retained trace at /debug/trace.
 //
 // With -repair-timeout > 0 an archiving coordinator joins the wired
 // segment and every wired client runs the automatic gap-repair loop
@@ -55,7 +60,12 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-frame loss probability on wired links (chaos injection)")
 	repairTimeout := flag.Duration("repair-timeout", 250*time.Millisecond, "gap stall timeout before a NACK to the coordinator (0 disables gap repair)")
 	repairRetries := flag.Int("repair-retries", 6, "repair request budget per gap before skipping it")
+	traceFlag := flag.Bool("trace", false, "enable the cross-node flight recorder and print a sampled timeline in the summary")
 	flag.Parse()
+
+	if *traceFlag {
+		obs.SetTraceEnabled(true)
+	}
 
 	var collector *obs.Collector
 	if *obsAddr != "" {
@@ -244,6 +254,29 @@ func main() {
 			"coordinator", coord.ArchivedEvents(),
 			ctrs[metrics.CtrRepairRequests], ctrs[metrics.CtrRepairSuccess],
 			ctrs[metrics.CtrRepairAbandoned])
+	}
+
+	if *traceFlag {
+		summaries := obs.TraceSummaries(0)
+		fmt.Printf("\n--- flight recorder (%d traces retained) ---\n", len(summaries))
+		// Sample the most informative timeline: a complete
+		// publish→deliver trace with the most hops, falling back to the
+		// deepest incomplete one.
+		var best obs.TraceSummary
+		for _, s := range summaries {
+			better := s.Hops > best.Hops
+			if s.Complete() != best.Complete() {
+				better = s.Complete()
+			}
+			if better {
+				best = s
+			}
+		}
+		if best.Hops > 0 {
+			if err := obs.WriteTimeline(os.Stdout, best.ID); err != nil {
+				log.Printf("collab: sampled timeline: %v", err)
+			}
+		}
 	}
 
 	if collector != nil {

@@ -182,6 +182,8 @@ func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg 
 		sweepStop:   make(chan struct{}),
 		sweepDone:   make(chan struct{}),
 	}
+	bs.env.Node = id
+	bs.unwrap.Node = id
 	bs.wiredTx = &dispatch.Multicaster{Env: &bs.env, Conn: wired}
 	bs.rfTx = &dispatch.Unicaster{Env: &bs.env, Conn: wireless,
 		OnSend: func(string) { bs.stats.downlk.Add(1) }}
@@ -280,6 +282,7 @@ func (bs *BaseStation) UplinkEvent(sender, app, sel string, payload []byte) erro
 	}
 	m := bs.newMessage(message.KindEvent, sender, sel, attrs, payload)
 	msgID := obs.MsgID(m.Sender, m.Seq)
+	obs.AppendHop(msgID, bs.id, obs.StagePublish)
 	sp := obs.StartStage(msgID, obs.StagePublish)
 	if err := bs.wiredTx.Deliver("", m); err != nil {
 		if sp.Active() {

@@ -58,7 +58,7 @@ func (bs *BaseStation) tierGate(min radio.Tier) dispatch.Stage {
 func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Object,
 	tier radio.Tier, tx dispatch.Deliverer, to string) error {
 
-	deliver := func(o *media.Object) error {
+	deliver := func(o *media.Object, transformed bool) error {
 		payload, err := apps.EncodeMediaObject(o)
 		if err != nil {
 			return err
@@ -67,7 +67,13 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 			message.AttrApp:    selector.S(apps.AppMedia),
 			message.AttrObject: selector.S(object),
 		})
-		return tx.Deliver(to, bs.newMessage(message.KindEvent, sender, sel, attrs, payload))
+		m := bs.newMessage(message.KindEvent, sender, sel, attrs, payload)
+		if transformed {
+			// The relayed message is minted here, so the transform hop
+			// can only be attributed once its trace identity exists.
+			obs.AppendHop(obs.MsgID(m.Sender, m.Seq), bs.id, obs.StageTransform)
+		}
+		return tx.Deliver(to, m)
 	}
 
 	switch tier {
@@ -106,7 +112,7 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 			}
 			return nil
 		}
-		return deliver(obj)
+		return deliver(obj, false)
 	case radio.TierSketch:
 		tsp := obs.StartStage(0, obs.StageTransform)
 		sk, err := bs.cfg.Registry.Transmode(obj, media.KindSketch)
@@ -118,7 +124,7 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 			return bs.forwardTiered(sender, object, sel, obj, radio.TierText, tx, to)
 		}
 		tsp.End()
-		return deliver(sk)
+		return deliver(sk, true)
 	case radio.TierText:
 		tsp := obs.StartStage(0, obs.StageTransform)
 		txt, err := bs.cfg.Registry.Transmode(obj, media.KindText)
@@ -129,7 +135,7 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 			return err
 		}
 		tsp.End()
-		return deliver(txt)
+		return deliver(txt, true)
 	default:
 		return ErrNoService
 	}
@@ -167,7 +173,7 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 		// dispatch pool fans the population across its shards.
 		msgID := obs.MsgID(m.Sender, m.Seq)
 		bs.pool.Each(msgID, bs.reg.IDs(), func(id string) error {
-			t := dispatch.Task{MsgID: msgID, To: id, Msg: m}
+			t := dispatch.Task{MsgID: msgID, To: id, Msg: m, Node: bs.id}
 			return bs.eventPipe.Run(&t)
 		})
 	case m.Kind == message.KindEvent && app.Str() == apps.AppImageViewer:
@@ -278,7 +284,7 @@ func (bs *BaseStation) deliverCollectedImage(sender, object, sel string) {
 		},
 	)
 	bs.pool.Each(0, bs.reg.IDs(), func(id string) error {
-		t := dispatch.Task{To: id}
+		t := dispatch.Task{To: id, Node: bs.id}
 		return pipe.Run(&t)
 	})
 }

@@ -72,6 +72,8 @@ func NewCoordinator(conn transport.Conn, group session.Group) *Coordinator {
 		locks:    session.NewObjectLocks(),
 		loopDone: make(chan struct{}),
 	}
+	c.env.Node = conn.ID()
+	c.unwrap.Node = conn.ID()
 	go c.loop()
 	return c
 }
@@ -327,19 +329,28 @@ func (c *Coordinator) archive(m *message.Message, frame []byte) {
 	if err != nil {
 		return
 	}
+	obs.AppendHop(obs.MsgID(m.Sender, m.Seq), c.ID(), obs.StageArchive)
 	c.mu.Lock()
 	c.frames[ev.Seq] = archivedFrame{data: append([]byte(nil), frame...), senderSeq: m.Seq}
 	c.mu.Unlock()
+}
+
+// replayFrame pairs an archived frame with the trace identity of the
+// message it carries, so a replay continues the original trace (the
+// flight recorder shows the repair hop on the message's own timeline).
+type replayFrame struct {
+	data    []byte
+	traceID uint64
 }
 
 // replay unicasts archived frames with Seq > after, in order.
 func (c *Coordinator) replay(to string, after uint64) {
 	events := c.sess.History(after)
 	c.mu.Lock()
-	frames := make([][]byte, 0, len(events))
+	frames := make([]replayFrame, 0, len(events))
 	for _, ev := range events {
 		if f, ok := c.frames[ev.Seq]; ok {
-			frames = append(frames, f.data)
+			frames = append(frames, replayFrame{data: f.data, traceID: obs.MsgID(ev.Sender, f.senderSeq)})
 		}
 	}
 	c.mu.Unlock()
@@ -355,22 +366,32 @@ func (c *Coordinator) replay(to string, after uint64) {
 func (c *Coordinator) replayFor(to, sender string, afterSenderSeq uint32) {
 	events := c.sess.History(0)
 	c.mu.Lock()
-	frames := make([][]byte, 0, 8)
+	frames := make([]replayFrame, 0, 8)
 	for _, ev := range events {
 		if ev.Sender != sender {
 			continue
 		}
 		if f, ok := c.frames[ev.Seq]; ok && f.senderSeq > afterSenderSeq {
-			frames = append(frames, f.data)
+			frames = append(frames, replayFrame{data: f.data, traceID: obs.MsgID(sender, f.senderSeq)})
 		}
 	}
 	c.mu.Unlock()
 	c.unicastFrames(to, frames)
 }
 
-func (c *Coordinator) unicastFrames(to string, frames [][]byte) {
+// unicastFrames ships replayed frames, appending a repair hop to each
+// frame's trace and re-attaching the trace extension so the requester
+// sees the replay on the message's original timeline.
+func (c *Coordinator) unicastFrames(to string, frames []replayFrame) {
 	for _, f := range frames {
-		datagrams, err := c.env.Wrap(f)
+		obs.AppendHop(f.traceID, c.ID(), obs.StageRepair)
+		var datagrams [][]byte
+		var err error
+		if obs.TraceEnabled() {
+			datagrams, err = c.env.WrapTraced(f.data, f.traceID)
+		} else {
+			datagrams, err = c.env.Wrap(f.data)
+		}
 		if err != nil {
 			return
 		}

@@ -199,11 +199,13 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 		rtpSend:     rtp.NewSender(fnv32(conn.ID()), 96, 0),
 		rtpRecv:     make(map[string]*rtp.Receiver),
 		pendingData: make(map[string][]pendingPacket),
-		env:         message.Enveloper{MTU: cfg.MTU},
+		env:         message.Enveloper{MTU: cfg.MTU, Node: conn.ID()},
 		unwrap:      message.NewUnwrapper(),
 		done:        make(chan struct{}),
 		loopDone:    make(chan struct{}),
 	}
+	c.unwrap.Node = conn.ID()
+	c.engine.SetOwner(conn.ID())
 	if err := inference.DefaultPolicy(c.engine, cfg.MaxPackets, cfg.SketchBps, cfg.TextBps); err != nil {
 		// The default policy is static; failure means a programming error.
 		panic(fmt.Sprintf("core: default policy: %v", err))
@@ -326,6 +328,7 @@ func (c *Client) Say(text, sel string) error {
 		return err
 	}
 	m := c.newMessage(message.KindEvent, sel, attrs, apps.EncodeSay(text))
+	obs.AppendHop(obs.MsgID(m.Sender, m.Seq), c.ID(), obs.StagePublish)
 	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
 	err := c.multicast(m)
 	sp.End()
@@ -344,6 +347,7 @@ func (c *Client) Draw(s apps.Stroke, sel string) error {
 		return err
 	}
 	m := c.newMessage(message.KindEvent, sel, attrs, payload)
+	obs.AppendHop(obs.MsgID(m.Sender, m.Seq), c.ID(), obs.StagePublish)
 	sp := obs.StartStage(obs.MsgID(m.Sender, m.Seq), obs.StagePublish)
 	err := c.multicast(m)
 	sp.End()
@@ -374,6 +378,7 @@ func (c *Client) ShareImage(object string, obj *media.Object, sel string) error 
 	})
 	announce := c.newMessage(message.KindEvent, sel, announceAttrs, apps.EncodeImageMeta(meta))
 	shareID := obs.MsgID(announce.Sender, announce.Seq)
+	obs.AppendHop(shareID, c.ID(), obs.StagePublish)
 	psp := obs.StartStage(shareID, obs.StagePublish)
 	if err := c.multicast(announce); err != nil {
 		if psp.Active() {
@@ -393,6 +398,7 @@ func (c *Client) ShareImage(object string, obj *media.Object, sel string) error 
 		}
 		packets = packets[:budget]
 	}
+	obs.AppendHop(shareID, c.ID(), obs.StageRTP)
 	rsp := obs.StartStage(shareID, obs.StageRTP)
 	for i, p := range packets {
 		pkt := c.rtpSend.Next(uint32(time.Now().UnixMilli()), i == len(packets)-1, p)
@@ -500,6 +506,7 @@ func (c *Client) process(m *message.Message) {
 		return
 	}
 	msp.End()
+	obs.AppendHop(msgID, c.ID(), obs.StageMatch)
 	if lam, ok := m.Attrs["lamport"]; ok {
 		c.clock.Witness(uint64(lam.Num()))
 	}
@@ -509,10 +516,12 @@ func (c *Client) process(m *message.Message) {
 		dsp := obs.StartStage(msgID, obs.StageDeliver)
 		c.handleEvent(m)
 		dsp.End()
+		obs.AppendHop(msgID, c.ID(), obs.StageDeliver)
 	case message.KindData:
 		dsp := obs.StartStage(msgID, obs.StageDeliver)
 		c.handleData(m)
 		dsp.End()
+		obs.AppendHop(msgID, c.ID(), obs.StageDeliver)
 	case message.KindControl:
 		// RTCP feedback and lock notifications; other control traffic
 		// belongs to coordinators and base stations.
@@ -581,6 +590,7 @@ func (c *Client) handleData(m *message.Message) {
 		c.stats.errors.Add(1)
 		return
 	}
+	obs.AppendHop(obs.MsgID(m.Sender, m.Seq), c.ID(), obs.StageRTP)
 	// Track per-sender reception statistics (loss, jitter) — the
 	// RTP/RTCP layer's receiver role.
 	c.rtpMu.Lock()
@@ -666,6 +676,7 @@ func (c *Client) applyReleasedLocked(so *senderOrder, released []session.Event) 
 	for _, ev := range released {
 		if mm, ok := so.msgs[ev.Seq]; ok {
 			delete(so.msgs, ev.Seq)
+			obs.AppendHop(obs.MsgID(mm.Sender, mm.Seq), c.ID(), obs.StageReorder)
 			c.process(mm)
 		}
 	}

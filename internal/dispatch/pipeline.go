@@ -27,6 +27,9 @@ type Task struct {
 	Flat  selector.Attributes
 	Tier  int
 	Obj   any
+	// Node names the broker executing this pipeline in flight-recorder
+	// hop records; empty disables hop recording for the task.
+	Node string
 }
 
 // Stage is one step of a delivery pipeline.  A stage may mutate the
@@ -78,6 +81,9 @@ func Match(lookup func(id string) (selector.Attributes, bool)) Stage {
 			return ErrSkip
 		}
 		sp.End()
+		if t.Node != "" {
+			obs.AppendHop(t.MsgID, t.Node, obs.StageMatch)
+		}
 		return nil
 	}
 }
@@ -86,6 +92,9 @@ func Match(lookup func(id string) (selector.Attributes, bool)) Stage {
 // transmit adapter addressed to the task's client.
 func Transmit(d Deliverer) Stage {
 	return func(t *Task) error {
+		if t.Node != "" {
+			obs.AppendHop(t.MsgID, t.Node, obs.StageTransmit)
+		}
 		return d.Deliver(t.To, t.Msg)
 	}
 }

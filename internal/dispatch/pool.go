@@ -155,6 +155,10 @@ func (p *Pool) Each(msgID uint64, ids []string, fn func(id string) error) error 
 	if len(ids) == 0 {
 		return nil
 	}
+	// One queue hop per batch (not per client): the flight recorder
+	// tracks the message's passage through the pool, the per-client
+	// queue-wait latency is the span histogram's job.
+	obs.AppendHop(msgID, p.cfg.Name, obs.StageQueue)
 	// Single-client batches and worker-less pools run inline: the
 	// relay loops process one message at a time, so ordering versus
 	// queued work is preserved by Each's completion barrier.

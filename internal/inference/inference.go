@@ -18,8 +18,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"adaptiveqos/internal/media"
+	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/selector"
 )
@@ -72,6 +75,10 @@ type Rule struct {
 	// Priority orders evaluation (higher first; ties keep insertion
 	// order).
 	Priority int
+
+	// fired counts this rule's firings (pre-touched at AddRule so the
+	// aqos_inference_rule_fired family lists every installed rule).
+	fired *metrics.Counter
 }
 
 // Engine evaluates the policy database against observed state.
@@ -82,6 +89,7 @@ type Engine struct {
 	seq      int
 	order    []int // insertion sequence parallel to rules
 	contract *profile.Contract
+	owner    string
 }
 
 // New creates an engine bound to a QoS contract (nil means an empty,
@@ -96,6 +104,14 @@ func New(contract *profile.Contract) *Engine {
 // Contract returns the engine's QoS contract.
 func (e *Engine) Contract() *profile.Contract { return e.contract }
 
+// SetOwner names the client this engine decides for; the name labels
+// the engine's entries in the decision audit (/debug/decisions).
+func (e *Engine) SetOwner(name string) {
+	e.mu.Lock()
+	e.owner = name
+	e.mu.Unlock()
+}
+
 // AddRule installs a policy rule.
 func (e *Engine) AddRule(r Rule) error {
 	if r.Name == "" {
@@ -104,6 +120,7 @@ func (e *Engine) AddRule(r Rule) error {
 	if r.Then == nil {
 		return fmt.Errorf("inference: rule %q without an action", r.Name)
 	}
+	r.fired = touchRuleCounter(r.Name)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.rules = append(e.rules, r)
@@ -141,10 +158,14 @@ func (e *Engine) RuleNames() []string {
 }
 
 // Decide evaluates the contract and every matching rule against the
-// state and returns the composed decision.
+// state and returns the composed decision.  Each firing rule bumps its
+// aqos_inference_rule_fired counter; when obs instrumentation is on,
+// the decision is also recorded into the audit ring
+// (/debug/decisions) with its input attributes and firing list.
 func (e *Engine) Decide(state selector.Attributes) Decision {
 	e.mu.RLock()
 	rules := e.rules
+	owner := e.owner
 	e.mu.RUnlock()
 
 	d := Decision{PacketBudget: Unlimited, Contract: e.contract.Evaluate(state)}
@@ -154,6 +175,19 @@ func (e *Engine) Decide(state selector.Attributes) Decision {
 		}
 		r.Then(state, &d)
 		d.Fired = append(d.Fired, r.Name)
+		r.fired.Inc()
+	}
+	if obs.Enabled() {
+		recordAudit(AuditEntry{
+			At:         time.Now().UnixNano(),
+			Client:     owner,
+			State:      formatState(state),
+			Fired:      append([]string(nil), d.Fired...),
+			Budget:     d.PacketBudget,
+			Modality:   string(d.Modality),
+			Satisfied:  d.Contract.Satisfied,
+			Violations: append([]string(nil), d.Contract.Violated...),
+		})
 	}
 	return d
 }

@@ -14,17 +14,35 @@ import (
 // discriminator keeps small messages (the vast majority) at almost
 // zero overhead while letting large media events cross transports with
 // datagram limits.
+//
+// The traced variants carry the flight recorder's wire extension — a
+// length-prefixed blob of hop records (DESIGN.md §11) — between the
+// tag and the payload.  The payload bytes are identical to the
+// untraced form, so frames encoded before the extension existed decode
+// unchanged, and a receiver with tracing disabled skips the blob
+// without parsing it.
 const (
-	envWhole    = 0x00
-	envFragment = 0x01
+	envWhole          = 0x00
+	envFragment       = 0x01
+	envWholeTraced    = 0x02
+	envFragmentTraced = 0x03
 )
+
+// traceLenBytes is the u16 length prefix delimiting the trace blob in
+// the traced envelope forms.
+const traceLenBytes = 2
 
 // Enveloper wraps outbound frames, fragmenting those that exceed the
 // MTU.  It is safe for concurrent use.
 type Enveloper struct {
 	// MTU bounds each wire datagram (envelope byte included);
 	// 0 means 8 KiB.
-	MTU    int
+	MTU int
+	// Node names this envelope endpoint in flight-recorder hop records
+	// (a client's substrate ID, a base station's ID).  When set and the
+	// recorder is on, WrapMessage appends a fragment-stage hop and
+	// attaches the trace extension to outbound datagrams.
+	Node   string
 	nextID atomic.Uint64
 }
 
@@ -91,12 +109,72 @@ func (e *Enveloper) WrapMessage(m *Message) ([][]byte, error) {
 		return nil, err
 	}
 	*bp = frame[:0]
-	out, werr := e.Wrap(frame)
+	var out [][]byte
+	var werr error
+	if obs.TraceEnabled() {
+		id := obs.MsgID(m.Sender, m.Seq)
+		if e.Node != "" {
+			obs.AppendHop(id, e.Node, obs.StageFragment)
+		}
+		out, werr = e.WrapTraced(frame, id)
+	} else {
+		out, werr = e.Wrap(frame)
+	}
 	if cap(frame) <= maxPooledBuf {
 		encBufPool.Put(bp)
 	}
 	sp.End()
 	return out, werr
+}
+
+// WrapTraced wraps frame like Wrap, attaching the flight recorder's
+// accumulated hop records for trace id as the envelope's trace
+// extension.  Fragmented frames carry the extension on every datagram,
+// so the trace context survives loss of any subset that repair later
+// fills (the merge path deduplicates).  With the recorder off, or no
+// hops recorded for id, it degrades to the untraced Wrap.
+func (e *Enveloper) WrapTraced(frame []byte, id uint64) ([][]byte, error) {
+	blob := obs.AppendWireTrace(nil, id)
+	if len(blob) == 0 {
+		return e.Wrap(frame)
+	}
+	overhead := 1 + traceLenBytes + len(blob)
+	if len(frame)+overhead <= e.mtu() {
+		out := make([]byte, 0, len(frame)+overhead)
+		out = append(out, envWholeTraced)
+		out = appendTraceBlob(out, blob)
+		return [][]byte{append(out, frame...)}, nil
+	}
+	frags, err := Split(e.nextID.Add(1), frame, e.mtu()-overhead)
+	if err != nil {
+		return nil, fmt.Errorf("message: envelope: %w", err)
+	}
+	out := make([][]byte, len(frags))
+	for i := range frags {
+		buf := make([]byte, 0, overhead+fragHeaderLen+len(frags[i].Chunk))
+		buf = append(buf, envFragmentTraced)
+		buf = appendTraceBlob(buf, blob)
+		out[i] = frags[i].AppendMarshal(buf)
+	}
+	return out, nil
+}
+
+func appendTraceBlob(dst, blob []byte) []byte {
+	dst = append(dst, byte(len(blob)>>8), byte(len(blob)))
+	return append(dst, blob...)
+}
+
+// splitTraceBlob slices a traced datagram body (everything after the
+// tag byte) into its trace blob and payload.
+func splitTraceBlob(body []byte) (blob, payload []byte, err error) {
+	if len(body) < traceLenBytes {
+		return nil, nil, ErrTruncated
+	}
+	n := int(body[0])<<8 | int(body[1])
+	if len(body)-traceLenBytes < n {
+		return nil, nil, ErrTruncated
+	}
+	return body[traceLenBytes : traceLenBytes+n], body[traceLenBytes+n:], nil
 }
 
 // WrapWhole envelopes a frame known to fit one datagram (test and
@@ -111,6 +189,10 @@ func WrapWhole(frame []byte) []byte {
 // peer needs its own fragment space, so the unwrapper keys reassembly
 // state by sender.  It is safe for concurrent use.
 type Unwrapper struct {
+	// Node names this endpoint in flight-recorder hop records; when
+	// set, completing a traced fragmented message appends a
+	// fragment-stage hop (reassembly done) at this node.
+	Node  string
 	mu    sync.Mutex
 	peers map[string]*Reassembler
 }
@@ -123,15 +205,33 @@ func NewUnwrapper() *Unwrapper {
 // Unwrap ingests one datagram from a peer.  It returns the completed
 // message frame when one is available (a whole frame immediately, a
 // fragmented one when its last piece arrives), or nil.
+//
+// Traced datagrams (tags 0x02/0x03) have their trace extension merged
+// into the flight recorder when it is enabled, and skipped unparsed
+// when it is not; either way the payload is handled exactly like the
+// untraced form.
 func (u *Unwrapper) Unwrap(peer string, datagram []byte) ([]byte, error) {
 	if len(datagram) < 1 {
 		return nil, ErrTruncated
 	}
-	switch datagram[0] {
-	case envWhole:
-		return datagram[1:], nil
-	case envFragment:
-		frag, err := UnmarshalFragment(datagram[1:])
+	tag := datagram[0]
+	body := datagram[1:]
+	var traceID uint64
+	if tag == envWholeTraced || tag == envFragmentTraced {
+		blob, payload, err := splitTraceBlob(body)
+		if err != nil {
+			return nil, err
+		}
+		if obs.TraceEnabled() {
+			traceID, _ = obs.MergeWireTrace(blob)
+		}
+		body = payload
+	}
+	switch tag {
+	case envWhole, envWholeTraced:
+		return body, nil
+	case envFragment, envFragmentTraced:
+		frag, err := UnmarshalFragment(body)
 		if err != nil {
 			return nil, err
 		}
@@ -146,9 +246,13 @@ func (u *Unwrapper) Unwrap(peer string, datagram []byte) ([]byte, error) {
 		if err != nil || !done {
 			return nil, err
 		}
+		if done && traceID != 0 && u.Node != "" {
+			// Reassembly completed on a traced datagram: record the hop.
+			obs.AppendHop(traceID, u.Node, obs.StageFragment)
+		}
 		return frame, nil
 	default:
-		return nil, fmt.Errorf("%w: envelope tag 0x%02X", ErrTruncated, datagram[0])
+		return nil, fmt.Errorf("%w: envelope tag 0x%02X", ErrTruncated, tag)
 	}
 }
 

@@ -1,0 +1,221 @@
+package message
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/selector"
+)
+
+// withTraceRecorder runs the body with the flight recorder on and
+// restores a clean disabled state afterwards.
+func withTraceRecorder(t *testing.T, body func()) {
+	t.Helper()
+	obs.SetTraceEnabled(true)
+	obs.ResetFlight()
+	t.Cleanup(func() {
+		obs.SetTraceEnabled(false)
+		obs.ResetFlight()
+	})
+	body()
+}
+
+func traceTestMessage(sender string, seq uint32, size int) *Message {
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte(i * 31)
+	}
+	return &Message{
+		Kind:      KindEvent,
+		Sender:    sender,
+		Seq:       seq,
+		Timestamp: time.Unix(100, 0),
+		Attrs:     selector.Attributes{"modality": selector.S("text")},
+		Body:      body,
+	}
+}
+
+// TestTraceRoundTripWhole covers the tagged envelope form for frames
+// that fit one datagram: the trace extension rides the wire and the
+// receiver merges the sender's hops.
+func TestTraceRoundTripWhole(t *testing.T) {
+	withTraceRecorder(t, func() {
+		e := &Enveloper{MTU: 8 << 10, Node: "sender-node"}
+		u := NewUnwrapper()
+		u.Node = "recv-node"
+		m := traceTestMessage("wired-0", 1, 32)
+		id := obs.MsgID(m.Sender, m.Seq)
+		obs.AppendHop(id, "sender-node", obs.StagePublish)
+
+		dgs, err := e.WrapMessage(m)
+		if err != nil || len(dgs) != 1 {
+			t.Fatalf("WrapMessage: %d datagrams, %v", len(dgs), err)
+		}
+		if dgs[0][0] != envWholeTraced {
+			t.Fatalf("tag = 0x%02x, want traced-whole", dgs[0][0])
+		}
+
+		// Decode through a fresh store, as a remote receiver would.
+		obs.ResetFlight()
+		frame, err := u.Unwrap("wired-0", dgs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(frame)
+		if err != nil || !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("decode: %v %v", got, err)
+		}
+		hops := obs.Hops(id)
+		if len(hops) < 2 {
+			t.Fatalf("receiver merged %d hops, want the sender's publish+fragment: %v", len(hops), hops)
+		}
+		if hops[0].Stage != obs.StagePublish || hops[0].Node != "sender-node" {
+			t.Errorf("first merged hop = %+v", hops[0])
+		}
+	})
+}
+
+// TestTraceBackwardCompat: frames encoded without the extension must
+// decode with tracing enabled, and traced frames must decode on a
+// receiver with tracing disabled.
+func TestTraceBackwardCompat(t *testing.T) {
+	m := traceTestMessage("wired-0", 2, 32)
+
+	// Old (untraced) datagram, receiver tracing ON.
+	obs.SetTraceEnabled(false)
+	e := &Enveloper{MTU: 8 << 10, Node: "sender-node"}
+	plain, err := e.WrapMessage(m)
+	if err != nil || len(plain) != 1 || plain[0][0] != envWhole {
+		t.Fatalf("untraced wrap: %v %v", plain, err)
+	}
+	withTraceRecorder(t, func() {
+		u := NewUnwrapper()
+		u.Node = "recv-node"
+		frame, err := u.Unwrap("wired-0", plain[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := Decode(frame); err != nil || !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("old frame with tracing on: %v %v", got, err)
+		}
+
+		// Traced datagram, receiver tracing OFF: blob skipped unparsed.
+		obs.AppendHop(obs.MsgID(m.Sender, m.Seq), "sender-node", obs.StagePublish)
+		traced, err := e.WrapMessage(m)
+		if err != nil || traced[0][0] != envWholeTraced {
+			t.Fatalf("traced wrap: %v %v", traced, err)
+		}
+		obs.SetTraceEnabled(false)
+		obs.ResetFlight()
+		frame, err = u.Unwrap("wired-0", traced[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := Decode(frame); err != nil || !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("traced frame with tracing off: %v %v", got, err)
+		}
+		if obs.Hops(obs.MsgID(m.Sender, m.Seq)) != nil {
+			t.Error("disabled receiver should not have stored hops")
+		}
+		obs.SetTraceEnabled(true)
+	})
+}
+
+// TestTraceSurvivesFragmentation: a large traced frame fragments, the
+// datagrams arrive shuffled, and the receiver ends with the sender's
+// hops exactly once (the extension rides every fragment; merge
+// deduplicates) plus its own reassembly-completion hop.
+func TestTraceSurvivesFragmentation(t *testing.T) {
+	withTraceRecorder(t, func() {
+		e := &Enveloper{MTU: 256, Node: "sender-node"}
+		u := NewUnwrapper()
+		u.Node = "recv-node"
+		m := traceTestMessage("wired-0", 3, 4096)
+		id := obs.MsgID(m.Sender, m.Seq)
+		obs.AppendHop(id, "sender-node", obs.StagePublish)
+
+		dgs, err := e.WrapMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dgs) < 10 {
+			t.Fatalf("expected many fragments, got %d", len(dgs))
+		}
+		for i, d := range dgs {
+			if d[0] != envFragmentTraced {
+				t.Fatalf("fragment %d tag = 0x%02x", i, d[0])
+			}
+			if len(d) > 256 {
+				t.Fatalf("fragment %d exceeds MTU: %d bytes", i, len(d))
+			}
+		}
+
+		obs.ResetFlight()
+		var frame []byte
+		for _, i := range rand.New(rand.NewSource(7)).Perm(len(dgs)) {
+			f, err := u.Unwrap("wired-0", dgs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != nil {
+				frame = f
+			}
+		}
+		if got, err := Decode(frame); err != nil || !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("reassembled decode failed: %v", err)
+		}
+
+		hops := obs.Hops(id)
+		publishes, reassemblies := 0, 0
+		for _, h := range hops {
+			if h.Stage == obs.StagePublish {
+				publishes++
+			}
+			if h.Stage == obs.StageFragment && h.Node == "recv-node" {
+				reassemblies++
+			}
+		}
+		if publishes != 1 {
+			t.Errorf("publish hop merged %d times, want exactly 1 (dedup): %v", publishes, hops)
+		}
+		if reassemblies != 1 {
+			t.Errorf("reassembly hop recorded %d times, want 1: %v", reassemblies, hops)
+		}
+	})
+}
+
+// TestTraceUnwrapTruncatedBlob: a traced tag whose length prefix
+// overruns the datagram must error, not panic or misparse.
+func TestTraceUnwrapTruncatedBlob(t *testing.T) {
+	u := NewUnwrapper()
+	for _, dg := range [][]byte{
+		{envWholeTraced},
+		{envWholeTraced, 0xff},
+		{envWholeTraced, 0x00, 0x10, 1, 2, 3},
+		{envFragmentTraced, 0x00, 0x08, 1, 2},
+	} {
+		if _, err := u.Unwrap("peer", dg); err == nil {
+			t.Errorf("truncated traced datagram %x accepted", dg)
+		}
+	}
+}
+
+// TestTraceDisabledWrapZeroAllocs guards the disabled path through the
+// envelope layer: with the recorder off, Wrap and Unwrap of a whole
+// frame must not allocate beyond the datagram copy itself (Unwrap of a
+// whole datagram allocates nothing).
+func TestTraceDisabledWrapZeroAllocs(t *testing.T) {
+	obs.SetTraceEnabled(false)
+	u := NewUnwrapper()
+	dg := WrapWhole([]byte("zero-alloc probe"))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := u.Unwrap("peer", dg); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Unwrap whole, tracing off: %g allocs/op, want 0", allocs)
+	}
+}

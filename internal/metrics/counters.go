@@ -115,4 +115,44 @@ const (
 	// Duplicate frames dropped before the session archive instead of
 	// being committed as second events (coordinator straggler path).
 	CtrArchiveDupDrops = "archive.duplicate.drops"
+	// Flight-recorder counters (DESIGN.md §11): hops dropped past the
+	// per-trace cap, wire trace extensions merged on receive, and
+	// malformed extensions rejected.
+	CtrTraceHopsDropped = "trace.hops.dropped"
+	CtrTraceWireMerged  = "trace.wire.merged"
+	CtrTraceWireBad     = "trace.wire.bad"
 )
+
+// RuleFired names the per-rule inference firing counter (exposed as
+// aqos_inference_rule_fired{rule="..."}); the label-bearing family is
+// pre-touched per rule at AddRule time, not here.
+func RuleFired(rule string) string {
+	return `inference.rule.fired{rule="` + rule + `"}`
+}
+
+// defaultCounterNames lists every unlabeled counter family declared
+// above.  TouchDefaults registers them all, so each aqos_* counter is
+// present (at zero) in /metrics from process start instead of
+// appearing only after its first event.  Keep in sync with the
+// constants; TestDefaultCounterFamiliesPreTouched guards the list.
+var defaultCounterNames = []string{
+	CtrSelectorCacheHit, CtrSelectorCacheMiss,
+	CtrFlattenReuse, CtrFlattenBuild,
+	CtrEncodeBufReuse, CtrEncodeBufAlloc,
+	CtrDispatchBatches, CtrDispatchJobs, CtrDispatchQueueDrops,
+	CtrCollectEvictions,
+	CtrRepairRequests, CtrRepairSuccess, CtrRepairAbandoned,
+	CtrArchiveDupDrops,
+	CtrTraceHopsDropped, CtrTraceWireMerged, CtrTraceWireBad,
+}
+
+// TouchDefaults pre-registers every declared counter family in the
+// process-global registry.  It runs at init (so exposition always
+// shows complete families) and is idempotent.
+func TouchDefaults() {
+	for _, name := range defaultCounterNames {
+		defaultCounters.Counter(name)
+	}
+}
+
+func init() { TouchDefaults() }

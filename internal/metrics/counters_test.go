@@ -54,6 +54,21 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+// TestDefaultCounterFamiliesPreTouched guards the pre-touch contract:
+// every declared counter family must be present in the global snapshot
+// from process start, before any instrumented code path has run.
+func TestDefaultCounterFamiliesPreTouched(t *testing.T) {
+	snap := Counters()
+	for _, name := range defaultCounterNames {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("counter family %q not pre-touched at init", name)
+		}
+	}
+	if len(defaultCounterNames) < 17 {
+		t.Errorf("defaultCounterNames has %d entries; did a new Ctr* constant miss the list?", len(defaultCounterNames))
+	}
+}
+
 func TestGlobalCounters(t *testing.T) {
 	C("test.global").Add(3)
 	if Counters()["test.global"] < 3 {

@@ -5,7 +5,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adaptiveqos/internal/metrics"
@@ -177,13 +180,64 @@ func WriteQoSDebug(w io.Writer, maxEvents int) error {
 	return err
 }
 
+// WriteTimeline renders one trace's merged per-hop timeline.
+func WriteTimeline(w io.Writer, id uint64) error {
+	hops, ok := Timeline(id)
+	if !ok || len(hops) == 0 {
+		_, err := fmt.Fprintf(w, "trace %016x: not retained\n", id)
+		return err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %016x (%d hops, %dµs publish-to-last):\n",
+		id, len(hops), hops[len(hops)-1].DeltaUS-hops[0].DeltaUS)
+	for _, h := range hops {
+		fmt.Fprintf(&sb, "  %+10dµs  %-16s %s\n", h.DeltaUS, h.Node, h.Stage)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteTraceIndex lists retained traces, newest first.
+func WriteTraceIndex(w io.Writer, max int) error {
+	sums := TraceSummaries(max)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flight recorder enabled: %v, retained traces: %d\n", TraceEnabled(), len(sums))
+	fmt.Fprintf(&sb, "query one with ?msg=<16-hex trace id> or ?sender=<id>&seq=<n>\n\n")
+	for _, s := range sums {
+		fmt.Fprintf(&sb, "  %016x  hops=%-3d span=%-8dµs %s/%s → %s/%s\n",
+			s.ID, s.Hops, s.SpanUS, s.First.Node, s.First.Stage, s.Last.Node, s.Last.Stage)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// extra debug handlers registered by other packages (the inference
+// engine mounts /debug/decisions here; obs cannot import it without a
+// cycle, so registration is inverted).
+var extras = struct {
+	mu sync.Mutex
+	m  map[string]http.HandlerFunc
+}{m: make(map[string]http.HandlerFunc)}
+
+// RegisterDebug mounts h at path on every Handler built afterwards.
+// Registering a path twice keeps the latest handler.
+func RegisterDebug(path string, h http.HandlerFunc) {
+	extras.mu.Lock()
+	extras.m[path] = h
+	extras.mu.Unlock()
+}
+
 // Handler serves the exposition endpoints: /metrics (Prometheus text
-// format) and /debug/qos (human dump; ?events=N bounds the trace tail,
-// default 64).
+// format, runtime gauges refreshed per scrape), /debug/qos (human
+// dump; ?events=N bounds the trace tail, default 64), /debug/trace
+// (flight-recorder timelines; ?msg=<hex id> or ?sender=&seq=), any
+// registered extras (e.g. the inference engine's /debug/decisions),
+// and the net/http/pprof profiling suite under /debug/pprof/.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		SampleRuntime(SetGauge)
 		WriteMetrics(w)
 	})
 	mux.HandleFunc("/debug/qos", func(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +250,45 @@ func Handler() http.Handler {
 		}
 		WriteQoSDebug(w, maxEvents)
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		q := r.URL.Query()
+		if sender := q.Get("sender"); sender != "" {
+			seq, err := parsePositive(q.Get("seq"))
+			if err != nil {
+				http.Error(w, "obs: ?sender= needs a numeric ?seq=", http.StatusBadRequest)
+				return
+			}
+			WriteTimeline(w, MsgID(sender, uint32(seq)))
+			return
+		}
+		if msg := q.Get("msg"); msg != "" {
+			id, err := strconv.ParseUint(msg, 16, 64)
+			if err != nil {
+				http.Error(w, "obs: ?msg= wants the hex trace id", http.StatusBadRequest)
+				return
+			}
+			WriteTimeline(w, id)
+			return
+		}
+		max := 64
+		if v := q.Get("max"); v != "" {
+			if n, err := parsePositive(v); err == nil {
+				max = n
+			}
+		}
+		WriteTraceIndex(w, max)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extras.mu.Lock()
+	for path, h := range extras.m {
+		mux.HandleFunc(path, h)
+	}
+	extras.mu.Unlock()
 	return mux
 }
 

@@ -41,7 +41,7 @@ func TestMsgIDStableAndDistinct(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver", "repair"}
+	want := []string{"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver", "repair", "transmit", "archive"}
 	stages := Stages()
 	if len(stages) != len(want) {
 		t.Fatalf("got %d stages, want %d", len(stages), len(want))

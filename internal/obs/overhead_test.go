@@ -88,3 +88,88 @@ func TestDisabledOverheadGuard(t *testing.T) {
 	}
 	t.Errorf("disabled instrumentation overhead %.2f%% exceeds the 5%% budget", overhead*100)
 }
+
+// TestTraceOverheadGuard extends the overhead budget to the
+// enabled-trace path: with spans already on, turning the flight
+// recorder on must add under 5% to a realistic per-message unit of
+// work.  The workload is an 8 KiB hash pass (µs-scale, the order of
+// one message's real pipeline work — encode, copy and checksum of a
+// datagram-sized frame); each iteration appends one hop, with
+// trace ids rotating so entries see a handful of hops each and the
+// store exercises its eviction path.
+func TestTraceOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("race detector multiplies lock-access cost; budget is meaningless")
+	}
+	SetEnabled(true)
+	SetTraceEnabled(false)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		SetTraceEnabled(false)
+		ResetFlight()
+		ResetEvents()
+	})
+
+	buf := make([]byte, 8192)
+	for i := range buf {
+		buf[i] = byte(i * 13)
+	}
+	const iters = 10_000
+	const rounds = 5
+
+	var sink uint64
+	spansOnly := func() {
+		SetTraceEnabled(false)
+		for i := 0; i < iters; i++ {
+			sp := StartStage(uint64(i/8+1), StageMatch)
+			sink += guardWorkload(buf, uint64(i))
+			AppendHop(uint64(i/8+1), "guard-node", StageMatch) // no-op: recorder off
+			sp.End()
+		}
+	}
+	traced := func() {
+		SetTraceEnabled(true)
+		ResetFlight()
+		for i := 0; i < iters; i++ {
+			sp := StartStage(uint64(i/8+1), StageMatch)
+			sink += guardWorkload(buf, uint64(i))
+			AppendHop(uint64(i/8+1), "guard-node", StageMatch)
+			sp.End()
+		}
+		SetTraceEnabled(false)
+	}
+
+	minTime := func(fn func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	spansOnly()
+	traced()
+	const attempts = 3
+	var overhead float64
+	for a := 1; a <= attempts; a++ {
+		baseBest := minTime(spansOnly)
+		tracedBest := minTime(traced)
+		if sink == 0 {
+			t.Fatal("workload optimized away")
+		}
+		overhead = float64(tracedBest-baseBest) / float64(baseBest)
+		t.Logf("attempt %d: spans-only %v, traced %v, overhead %.2f%%",
+			a, baseBest, tracedBest, overhead*100)
+		if overhead <= 0.05 {
+			return
+		}
+	}
+	t.Errorf("enabled-trace overhead %.2f%% exceeds the 5%% budget", overhead*100)
+}

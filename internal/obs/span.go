@@ -11,7 +11,11 @@ import "time"
 // latency rather than a span inside the live path).
 type Stage uint8
 
-// Pipeline stages, in pipeline order.
+// Pipeline stages, in pipeline order.  StageTransmit (datagrams handed
+// to a transmit adapter) and StageArchive (a coordinator committing a
+// frame to session history) were added with the flight recorder
+// (DESIGN.md §11) and sit after the original set so existing stage
+// ordinals stay stable.
 const (
 	StagePublish Stage = iota
 	StageQueue
@@ -22,6 +26,8 @@ const (
 	StageReorder
 	StageDeliver
 	StageRepair
+	StageTransmit
+	StageArchive
 	numStages
 )
 
@@ -29,6 +35,7 @@ const (
 // /debug/qos); DESIGN.md §8 documents them.
 var stageNames = [numStages]string{
 	"publish", "queue", "match", "transform", "fragment", "rtp", "reorder", "deliver", "repair",
+	"transmit", "archive",
 }
 
 // String returns the stage label.

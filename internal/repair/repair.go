@@ -143,11 +143,9 @@ type Engine struct {
 // (gaps then stall until repaired, with abandonment only counted).
 func New(cfg Config, request Requester, abandon Abandoner) *Engine {
 	cfg = cfg.withDefaults()
-	// Touch the counters so they expose as aqos_repair_* immediately,
-	// not only after the first event.
-	metrics.C(metrics.CtrRepairRequests)
-	metrics.C(metrics.CtrRepairSuccess)
-	metrics.C(metrics.CtrRepairAbandoned)
+	// (Counter families are pre-touched by metrics.TouchDefaults at
+	// init, so aqos_repair_* expose at zero without any per-engine
+	// registration here.)
 	return &Engine{
 		cfg:      cfg,
 		request:  request,
