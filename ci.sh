@@ -57,3 +57,13 @@ go test -count=1 -run TestDefaultCounterFamiliesPreTouched ./internal/metrics/
 # runtime distorts timing, the guards skip themselves under -race).
 go test -count=1 -run 'TestTraceDisabledZeroAllocs|TestTraceDisabledWrapZeroAllocs' ./internal/obs/ ./internal/message/
 go test -count=1 -run TestTraceOverheadGuard -v ./internal/obs/
+
+# Match-index gates (DESIGN.md §12): the inverted predicate index must
+# agree exactly with the brute-force evaluator — the randomized
+# equivalence harness runs under the race detector with -count=1 — and
+# the scaling contract must hold: with the index on, matching a
+# constant-size subset out of 100k clients costs within a bounded
+# ratio of the same match over 1k (non-race: the guard skips itself
+# under -race, like the timing guards above).
+go test -race -count=1 ./internal/matchindex/
+go test -count=1 -run TestFlatMatchGuard -v ./internal/registry/

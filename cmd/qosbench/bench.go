@@ -119,6 +119,40 @@ func microBenches() []struct {
 		{"registry-sharded-64", func(b *testing.B) { benchRegistry(b, 16, 64) }},
 		{"registry-single-512", func(b *testing.B) { benchRegistry(b, 1, 512) }},
 		{"registry-sharded-512", func(b *testing.B) { benchRegistry(b, 16, 512) }},
+		{"match-1k-index", func(b *testing.B) { benchMatchScaling(b, 1_000, true) }},
+		{"match-1k-brute", func(b *testing.B) { benchMatchScaling(b, 1_000, false) }},
+		{"match-10k-index", func(b *testing.B) { benchMatchScaling(b, 10_000, true) }},
+		{"match-10k-brute", func(b *testing.B) { benchMatchScaling(b, 10_000, false) }},
+		{"match-100k-index", func(b *testing.B) { benchMatchScaling(b, 100_000, true) }},
+		{"match-100k-brute", func(b *testing.B) { benchMatchScaling(b, 100_000, false) }},
+	}
+}
+
+// benchMatchScaling measures one selector match against a population of
+// the given size, with the inverted predicate index on or off
+// (DESIGN.md §12).  Region cardinality grows with the population so the
+// matching subset is always 8 clients: a flat index-on series across
+// 1k → 100k against a linearly growing brute series is the tentpole's
+// scaling claim.
+func benchMatchScaling(b *testing.B, clients int, indexed bool) {
+	r := registry.NewWithIndex(16, indexed)
+	medias := []string{"video", "audio", "image", "text"}
+	for i := 0; i < clients; i++ {
+		p := profile.New(fmt.Sprintf("w%d", i))
+		p.Interests.SetString("media", medias[i%len(medias)])
+		p.Interests.SetNumber("region", float64(i%(clients/8)))
+		r.Put(p)
+	}
+	sel := selector.MustCompile(`region == 17 and exists(media)`)
+	if got := len(r.MatchIDs(sel)); got != 8 { // also drains the join-time dirty set
+		b.Fatalf("matching subset = %d clients, want 8", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids := r.MatchIDs(sel); len(ids) != 8 {
+			b.Fatal("wrong match count")
+		}
 	}
 }
 

@@ -45,6 +45,20 @@ var (
 	ErrNoService     = errors.New("basestation: SIR below any service tier")
 )
 
+// MatchIndexMode selects how the downlink relay enumerates the
+// candidate receivers of a message selector.
+type MatchIndexMode int
+
+const (
+	// MatchIndexOn (the default) enumerates candidates through the
+	// registry's inverted predicate index: per-message match cost
+	// tracks the matching subset, not the registered population.
+	MatchIndexOn MatchIndexMode = iota
+	// MatchIndexOff retains the brute-force path — every registered
+	// client runs the pipeline's match stage — for A/B benchmarking.
+	MatchIndexOff
+)
+
 // Config parameterizes a base station.
 type Config struct {
 	// Thresholds gate forwarded modalities (default DefaultThresholds).
@@ -74,6 +88,10 @@ type Config struct {
 	// collection may sit idle before the sweeper evicts it (default
 	// 60s; < 0 disables the sweep).
 	CollectTTL time.Duration
+	// MatchIndex selects index-first candidate enumeration on the
+	// relay dispatch path (default on; MatchIndexOff retains the
+	// O(clients) brute-force scan for A/B comparison, DESIGN.md §12).
+	MatchIndex MatchIndexMode
 }
 
 func (c Config) withDefaults() Config {
@@ -173,7 +191,7 @@ func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg 
 		wireless:    wireless,
 		cfg:         cfg,
 		channel:     channel,
-		reg:         registry.New(cfg.RegistryShards),
+		reg:         registry.NewWithIndex(cfg.RegistryShards, cfg.MatchIndex != MatchIndexOff),
 		unwrap:      message.NewUnwrapper(),
 		collect:     apps.NewImageViewer(),
 		collections: registry.NewCollections[apps.ImageMeta](cfg.CollectTTL),

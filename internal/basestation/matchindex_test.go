@@ -1,0 +1,71 @@
+package basestation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/core"
+	"adaptiveqos/internal/profile"
+	"adaptiveqos/internal/selector"
+)
+
+// joinWithMedia is joinWireless with an explicit media interest, so a
+// selector can split the population.
+func (r *rig) joinWithMedia(t *testing.T, id, media string) *core.Client {
+	t.Helper()
+	conn, err := r.radioNet.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewClient(conn, core.Config{})
+	t.Cleanup(func() { c.Close() })
+	// The receiving endpoint filters by its own local profile too, so
+	// the interest must live on both sides.
+	c.Profile().SetInterest("media", selector.S(media))
+	p := profile.New(id)
+	p.Interests.SetString("media", media)
+	if _, err := r.bs.Join(p, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRelaySelectorDeliveryIndexModes runs the same selector-addressed
+// wired relay with the match index on and off and requires identical
+// delivered sets: the index is a pruning pre-filter, never a semantic
+// change (DESIGN.md §12).
+func TestRelaySelectorDeliveryIndexModes(t *testing.T) {
+	for _, mode := range []MatchIndexMode{MatchIndexOn, MatchIndexOff} {
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			r := newRig(t, Config{MatchIndex: mode})
+			if (mode == MatchIndexOn) != r.bs.reg.Indexed() {
+				t.Fatalf("Config.MatchIndex=%d but Indexed()=%v", mode, r.bs.reg.Indexed())
+			}
+			video1 := r.joinWithMedia(t, "v1", "video")
+			video2 := r.joinWithMedia(t, "v2", "video")
+			audio := r.joinWithMedia(t, "a1", "audio")
+
+			if err := r.wired.Say("field update", `media == "video"`); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "video chat", func() bool {
+				return video1.Chat().Len() == 1 && video2.Chat().Len() == 1
+			})
+			// The non-matching client must stay silent; give any stray
+			// delivery time to land before asserting.
+			time.Sleep(20 * time.Millisecond)
+			if n := audio.Chat().Len(); n != 0 {
+				t.Errorf("non-matching client received %d chat lines", n)
+			}
+
+			// An unaddressed event reaches everyone in both modes.
+			if err := r.wired.Say("to all", ""); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "broadcast chat", func() bool {
+				return video1.Chat().Len() == 2 && video2.Chat().Len() == 2 && audio.Chat().Len() == 1
+			})
+		})
+	}
+}

@@ -167,12 +167,16 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 	app, _ := m.Attr(message.AttrApp)
 	switch {
 	case m.Kind == message.KindEvent && (app.Str() == apps.AppChat || app.Str() == apps.AppWhiteboard || app.Str() == apps.AppMedia):
-		// Light events run the relay pipeline per client: match the
-		// cached compiled selector against the registry's memoized
-		// flattened profile, gate on the text tier, transmit.  The
-		// dispatch pool fans the population across its shards.
+		// Light events run the relay pipeline per client: candidates
+		// come index-first from the registry's inverted predicate
+		// index (DESIGN.md §12; Config.MatchIndex off = every client),
+		// then each candidate's pipeline re-verifies the cached
+		// compiled selector against the memoized flattened profile,
+		// gates on the text tier and transmits.  The dispatch pool
+		// fans the candidate set across its shards.
 		msgID := obs.MsgID(m.Sender, m.Seq)
-		bs.pool.Each(msgID, bs.reg.IDs(), func(id string) error {
+		ids := dispatch.Candidates(bs.reg, m, bs.cfg.MatchIndex != MatchIndexOff)
+		bs.pool.Each(msgID, ids, func(id string) error {
 			t := dispatch.Task{MsgID: msgID, To: id, Msg: m, Node: bs.id}
 			return bs.eventPipe.Run(&t)
 		})

@@ -1,0 +1,68 @@
+package dispatch
+
+import (
+	"sort"
+	"testing"
+
+	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/selector"
+)
+
+// stubMembership records which enumeration path Candidates took.
+type stubMembership struct {
+	all      []string
+	matching []string
+	lastSel  *selector.Selector
+	idCalls  int
+}
+
+func (s *stubMembership) IDs() []string {
+	s.idCalls++
+	return s.all
+}
+
+func (s *stubMembership) MatchIDs(sel *selector.Selector) []string {
+	s.lastSel = sel
+	return s.matching
+}
+
+func TestCandidates(t *testing.T) {
+	reg := &stubMembership{
+		all:      []string{"w0", "w1", "w2", "w3"},
+		matching: []string{"w2"},
+	}
+
+	// No message and no selector both mean the whole population.
+	if got := Candidates(reg, nil, true); len(got) != 4 {
+		t.Errorf("nil message: %v", got)
+	}
+	if got := Candidates(reg, &message.Message{}, true); len(got) != 4 {
+		t.Errorf("empty selector: %v", got)
+	}
+
+	// Index off: whole population, regardless of selector.
+	m := &message.Message{Selector: `media == "video"`}
+	if got := Candidates(reg, m, false); len(got) != 4 {
+		t.Errorf("index off: %v", got)
+	}
+	if reg.lastSel != nil {
+		t.Error("index off still called MatchIDs")
+	}
+
+	// Index on: only the matching subset, via MatchIDs.
+	got := Candidates(reg, m, true)
+	sort.Strings(got)
+	if len(got) != 1 || got[0] != "w2" {
+		t.Errorf("index on: %v", got)
+	}
+	if reg.lastSel == nil || reg.lastSel.Source() != m.Selector {
+		t.Errorf("MatchIDs saw selector %v", reg.lastSel)
+	}
+
+	// An unparsable selector is fail-closed: no candidates, matching
+	// MatchProfile's behavior of delivering to no one.
+	bad := &message.Message{Selector: `media ==`}
+	if got := Candidates(reg, bad, true); got != nil {
+		t.Errorf("unparsable selector: %v", got)
+	}
+}

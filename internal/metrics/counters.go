@@ -121,6 +121,14 @@ const (
 	CtrTraceHopsDropped = "trace.hops.dropped"
 	CtrTraceWireMerged  = "trace.wire.merged"
 	CtrTraceWireBad     = "trace.wire.bad"
+	// Match-index counters (internal/matchindex, DESIGN.md §12):
+	// counting-match candidates scanned, brute-force fallback
+	// evaluations (full-scan plans, disabled-index scans and
+	// per-candidate residue checks), and client reindex events
+	// (exposed as aqos_match_index_*).
+	CtrMatchIndexCandidates = "match.index.candidates"
+	CtrMatchIndexFallback   = "match.index.fallback"
+	CtrMatchIndexReindex    = "match.index.reindex"
 )
 
 // RuleFired names the per-rule inference firing counter (exposed as
@@ -144,6 +152,7 @@ var defaultCounterNames = []string{
 	CtrRepairRequests, CtrRepairSuccess, CtrRepairAbandoned,
 	CtrArchiveDupDrops,
 	CtrTraceHopsDropped, CtrTraceWireMerged, CtrTraceWireBad,
+	CtrMatchIndexCandidates, CtrMatchIndexFallback, CtrMatchIndexReindex,
 }
 
 // TouchDefaults pre-registers every declared counter family in the

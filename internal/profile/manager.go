@@ -278,6 +278,29 @@ func (r *Registry) MatchAll(sel *selector.Selector) []*Profile {
 	return out
 }
 
+// MatchIDs returns the IDs of every profile satisfying sel, evaluated
+// against the memoized flattened views.  It is MatchAll without the
+// per-profile deep copy: the dispatch hot path only needs the IDs (and
+// resolves attributes through FlatSnapshot), so matching must not pay
+// a profile clone per matching client.
+func (r *Registry) MatchIDs(sel *selector.Selector) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for id, e := range r.profiles {
+		if e.flat == nil {
+			e.flat = e.p.Flatten()
+			ctrFlattenBuild.Inc()
+		} else {
+			ctrFlattenReuse.Inc()
+		}
+		if sel.Matches(e.flat) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // StateKV pairs one state attribute with the value to install; the
 // batch form of UpdateState takes a slice of them.
 type StateKV struct {
@@ -290,13 +313,15 @@ type StateKV struct {
 // equal to the stored ones are skipped; when every value is unchanged
 // the call is a no-op and the memoized flattened view stays valid —
 // the same cache-friendly contract as UpdateState, paid for with one
-// lock acquisition instead of len(kvs).
-func (r *Registry) UpdateStates(id string, kvs []StateKV) error {
+// lock acquisition instead of len(kvs).  The returned bool reports
+// whether the profile actually changed (and so whether any derived
+// view — like the sharded registry's match index — must reindex it).
+func (r *Registry) UpdateStates(id string, kvs []StateKV) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.profiles[id]
 	if !ok {
-		return fmt.Errorf("profile: unknown client %q", id)
+		return false, fmt.Errorf("profile: unknown client %q", id)
 	}
 	changed := false
 	for _, kv := range kvs {
@@ -306,7 +331,7 @@ func (r *Registry) UpdateStates(id string, kvs []StateKV) error {
 		}
 	}
 	if !changed {
-		return nil
+		return false, nil
 	}
 	next := &Profile{
 		ID:           e.p.ID,
@@ -320,7 +345,7 @@ func (r *Registry) UpdateStates(id string, kvs []StateKV) error {
 		next.State[kv.Name] = kv.V
 	}
 	r.profiles[id] = &regEntry{p: next}
-	return nil
+	return true, nil
 }
 
 // UpdateState mutates one state attribute of a registered profile in

@@ -1,0 +1,86 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/selector"
+)
+
+// guardRegistry builds an indexed registry of n clients where the
+// matching subset of the guard selector is the same size at every
+// scale: region cardinality grows with the population (n/8), so
+// `region == 17` always selects exactly 8 clients whether n is one
+// thousand or one hundred thousand.
+func guardRegistry(n int) *Registry {
+	r := NewWithIndex(16, true)
+	populate(r, n, n/8)
+	// Drain the join-time dirty set so timing measures steady-state
+	// matching, not the initial index build.
+	r.MatchIDs(selector.MustCompile(`region == 17`))
+	return r
+}
+
+// TestFlatMatchGuard is the CI guard for the tentpole's scaling
+// contract: with the inverted index on, the per-message match cost
+// must depend on the matching subset, not the registered population.
+// It times the same constant-selectivity selector against 1k and 100k
+// clients and bounds the ratio.  Brute-force matching is ~100x here;
+// the bound leaves room for per-shard fixed costs and cache effects
+// while still catching any accidental O(population) term.
+func TestFlatMatchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("race detector multiplies map-access cost; ratio is meaningless")
+	}
+
+	small := guardRegistry(1_000)
+	large := guardRegistry(100_000)
+	sel := selector.MustCompile(`region == 17 and exists(media)`)
+
+	if got := len(small.MatchIDs(sel)); got != 8 {
+		t.Fatalf("small population matches %d clients, want 8", got)
+	}
+	if got := len(large.MatchIDs(sel)); got != 8 {
+		t.Fatalf("large population matches %d clients, want 8", got)
+	}
+
+	const iters = 200
+	const rounds = 5
+	minTime := func(r *Registry) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < rounds; round++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if ids := r.MatchIDs(sel); len(ids) != 8 {
+					t.Fatalf("match returned %d ids mid-measurement", len(ids))
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm both, then interleave measurements; a shared CI host can
+	// steal the core mid-round, so an over-budget reading is
+	// re-measured before it fails the guard.
+	minTime(small)
+	minTime(large)
+	const attempts = 3
+	const maxRatio = 8.0
+	var ratio float64
+	for a := 1; a <= attempts; a++ {
+		smallBest := minTime(small)
+		largeBest := minTime(large)
+		ratio = float64(largeBest) / float64(smallBest)
+		t.Logf("attempt %d: 1k %v, 100k %v, ratio %.2fx", a, smallBest, largeBest, ratio)
+		if ratio <= maxRatio {
+			return
+		}
+	}
+	t.Errorf("100k/1k match-cost ratio %.2fx exceeds the %.0fx flatness budget", ratio, maxRatio)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package registry
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; timing guards skip themselves under the detector because its
+// per-access instrumentation distorts every budget.
+const raceDetectorEnabled = true

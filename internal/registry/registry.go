@@ -11,9 +11,16 @@
 package registry
 
 import (
+	"adaptiveqos/internal/matchindex"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/selector"
 )
+
+// ctrMatchFallback counts brute-force selector evaluations performed
+// when a match cannot go through the inverted index (disabled index or
+// a FullScan plan); see matchindex and DESIGN.md §12.
+var ctrMatchFallback = metrics.C(metrics.CtrMatchIndexFallback)
 
 // Radio-state attribute names.  The membership layer stores the
 // broker's last service assessment of each client in the profile's
@@ -45,14 +52,30 @@ func fnv32a(s string) uint32 {
 // an independent profile.Registry (with its own lock and memoized
 // flattened views); a client's shard is fixed by the FNV-1a hash of
 // its ID.  All methods are safe for concurrent use.
+//
+// Unless constructed with NewWithIndex(shards, false), each profile
+// shard is paired with an inverted predicate index shard
+// (matchindex.Shard, routed by the same hash) so MatchIDs/MatchAll
+// cost scales with the matching subset rather than the population.
+// Mutations invalidate lazily: they record the client in the paired
+// index shard's dirty set and the next match re-reads its flattened
+// view, skipping the rebuild when the profile generation counter is
+// unchanged.
 type Registry struct {
 	shards []*profile.Registry
+	idx    []*matchindex.Shard // nil when the index is disabled
 	mask   uint32
 }
 
 // New returns a registry with the given shard count, rounded up to a
-// power of two; shards <= 0 selects DefaultShards.
-func New(shards int) *Registry {
+// power of two; shards <= 0 selects DefaultShards.  The match index is
+// enabled.
+func New(shards int) *Registry { return NewWithIndex(shards, true) }
+
+// NewWithIndex is New with the match index explicitly enabled or
+// disabled; disabled, MatchIDs and MatchAll scan every profile
+// brute-force (the pre-index behavior, kept for A/B benchmarking).
+func NewWithIndex(shards int, indexed bool) *Registry {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
@@ -64,8 +87,17 @@ func New(shards int) *Registry {
 	for i := range r.shards {
 		r.shards[i] = profile.NewRegistry()
 	}
+	if indexed {
+		r.idx = make([]*matchindex.Shard, n)
+		for i := range r.idx {
+			r.idx[i] = matchindex.NewShard()
+		}
+	}
 	return r
 }
+
+// Indexed reports whether the match index is enabled.
+func (r *Registry) Indexed() bool { return r.idx != nil }
 
 // Shards returns the shard count (diagnostics, benchmarks).
 func (r *Registry) Shards() int { return len(r.shards) }
@@ -74,8 +106,24 @@ func (r *Registry) shard(id string) *profile.Registry {
 	return r.shards[fnv32a(id)&r.mask]
 }
 
-// Put installs (or replaces) a profile snapshot.
-func (r *Registry) Put(p *profile.Profile) { r.shard(p.ID).Put(p) }
+// idxShard returns the index shard paired with id's profile shard, or
+// nil when the index is disabled.
+func (r *Registry) idxShard(id string) *matchindex.Shard {
+	if r.idx == nil {
+		return nil
+	}
+	return r.idx[fnv32a(id)&r.mask]
+}
+
+// Put installs (or replaces) a profile snapshot.  A Put may install
+// arbitrary attributes under an unchanged version, so the index entry
+// is invalidated outright rather than generation-checked.
+func (r *Registry) Put(p *profile.Profile) {
+	r.shard(p.ID).Put(p)
+	if ix := r.idxShard(p.ID); ix != nil {
+		ix.Invalidate(p.ID)
+	}
+}
 
 // Get returns a copy of the profile for id.
 func (r *Registry) Get(id string) (*profile.Profile, bool) {
@@ -83,7 +131,13 @@ func (r *Registry) Get(id string) (*profile.Profile, bool) {
 }
 
 // Remove deletes the profile for id, reporting whether it was present.
-func (r *Registry) Remove(id string) bool { return r.shard(id).Remove(id) }
+func (r *Registry) Remove(id string) bool {
+	ok := r.shard(id).Remove(id)
+	if ix := r.idxShard(id); ix != nil {
+		ix.Invalidate(id)
+	}
+	return ok
+}
 
 // Len returns the number of registered profiles across all shards.
 func (r *Registry) Len() int {
@@ -112,15 +166,69 @@ func (r *Registry) FlatSnapshot(id string) (selector.Attributes, uint64, bool) {
 
 // UpdateState mutates one state attribute of a registered profile.
 func (r *Registry) UpdateState(id, name string, v selector.Value) (*profile.Profile, error) {
-	return r.shard(id).UpdateState(id, name, v)
+	p, err := r.shard(id).UpdateState(id, name, v)
+	if err == nil {
+		if ix := r.idxShard(id); ix != nil {
+			// Equal-value writes do not bump the version; the dirty
+			// drain's generation check turns those into one map lookup.
+			ix.MarkDirty(id)
+		}
+	}
+	return p, err
 }
 
-// MatchAll returns copies of every profile satisfying sel, evaluated
-// against the memoized flattened views shard by shard.
-func (r *Registry) MatchAll(sel *selector.Selector) []*profile.Profile {
-	var out []*profile.Profile
+// MatchIDs returns the IDs of every registered profile satisfying sel,
+// in unspecified order.  With the index enabled the selector is
+// decomposed into an index plan and answered by each shard's counting
+// match; plans the index cannot answer (match-all, or a disjunct with
+// no indexable predicate) and disabled indexes fall back to the
+// brute-force per-profile evaluation.  Either way the result is exact.
+func (r *Registry) MatchIDs(sel *selector.Selector) []string {
+	if sel == nil {
+		return r.IDs()
+	}
+	if r.idx != nil {
+		plan := matchindex.PlanSelector(sel)
+		if plan.MatchAll {
+			return r.IDs()
+		}
+		if plan.Indexable() {
+			var out []string
+			for i, s := range r.shards {
+				out = r.idx[i].Match(plan, s.FlatSnapshot, out)
+			}
+			return out
+		}
+		if len(plan.Branches) == 0 && !plan.FullScan {
+			return nil // constant-false selector
+		}
+	}
+	ctrMatchFallback.Add(uint64(r.Len()))
+	var out []string
 	for _, s := range r.shards {
-		out = append(out, s.MatchAll(sel)...)
+		out = append(out, s.MatchIDs(sel)...)
+	}
+	return out
+}
+
+// MatchAll returns copies of every profile satisfying sel.  With the
+// index enabled, candidates come from MatchIDs and only the matching
+// profiles pay the deep copy; otherwise every shard scans brute-force.
+func (r *Registry) MatchAll(sel *selector.Selector) []*profile.Profile {
+	if r.idx == nil {
+		ctrMatchFallback.Add(uint64(r.Len()))
+		var out []*profile.Profile
+		for _, s := range r.shards {
+			out = append(out, s.MatchAll(sel)...)
+		}
+		return out
+	}
+	ids := r.MatchIDs(sel)
+	out := make([]*profile.Profile, 0, len(ids))
+	for _, id := range ids {
+		if p, ok := r.Get(id); ok {
+			out = append(out, p)
+		}
 	}
 	return out
 }
@@ -139,10 +247,19 @@ type Assessment struct {
 // PutAssessment folds a client's service assessment into its stored
 // profile state (one lock pass; no version bump when the radio
 // geometry is unchanged, keeping the memoized flattened view valid).
+// Only an actual change dirties the match index — the per-frame
+// steady state (unchanged geometry re-assessed on every delivery)
+// must not grow the dirty set the next match has to drain.
 func (r *Registry) PutAssessment(id string, a Assessment) error {
-	return r.shard(id).UpdateStates(id, []profile.StateKV{
+	changed, err := r.shard(id).UpdateStates(id, []profile.StateKV{
 		{Name: StateSIR, V: selector.N(a.SIRdB)},
 		{Name: StatePower, V: selector.N(a.Power)},
 		{Name: StateDistance, V: selector.N(a.Distance)},
 	})
+	if changed {
+		if ix := r.idxShard(id); ix != nil {
+			ix.MarkDirty(id)
+		}
+	}
+	return err
 }
