@@ -58,6 +58,20 @@ go test -count=1 -run TestDefaultCounterFamiliesPreTouched ./internal/metrics/
 go test -count=1 -run 'TestTraceDisabledZeroAllocs|TestTraceDisabledWrapZeroAllocs' ./internal/obs/ ./internal/message/
 go test -count=1 -run TestTraceOverheadGuard -v ./internal/obs/
 
+# SLO-engine and session-recorder gates (DESIGN.md §13): the
+# conformance state machine, attribution capture and the JSONL
+# recorder must be race-clean under concurrent observe/poll/append —
+# with -count=1 so cached results never mask a regression — the
+# disabled paths must stay zero-alloc, and enabled SLO evaluation must
+# cost under 5% on a per-message unit of work (non-race: the timing
+# guard skips itself under -race, like the other guards).
+go test -race -count=1 ./internal/slo/
+go test -race -count=1 -run 'TestRecorder|TestLoadSession|TestRecordEvent' ./internal/obs/
+go test -count=1 -run 'TestDisabledObserveZeroAllocs|TestEnabledObserveSteadyStateZeroAllocs' ./internal/slo/
+go test -count=1 -run TestRecordEventDisabledZeroAllocs ./internal/obs/
+go test -count=1 -run TestEnabledObserveOverheadGuard -v ./internal/slo/
+go test -count=1 -run 'TestExpositionParserRoundTrip|TestEscapeLabel|TestUnescapeLabel|TestLabeledCounterNameConstructorsEscape' ./internal/obs/ ./internal/metrics/
+
 # Match-index gates (DESIGN.md §12): the inverted predicate index must
 # agree exactly with the brute-force evaluator — the randomized
 # equivalence harness runs under the race detector with -count=1 — and

@@ -9,10 +9,11 @@
 //	collab [-wired 2] [-wireless 2] [-events 40] [-seed 1]
 //	       [-loss 0] [-repair-timeout 250ms] [-repair-retries 6]
 //	       [-obs-addr :9090] [-obs-hold 0s] [-trace]
+//	       [-record out.jsonl] [-slo]
 //
 // With -obs-addr, pipeline instrumentation is enabled and the
 // observability endpoint serves Prometheus-style /metrics and the
-// human /debug/qos dump for the duration of the run (-obs-hold keeps
+// human /debug index for the duration of the run (-obs-hold keeps
 // the process serving after the scenario completes, for scraping).
 //
 // With -trace, the cross-node flight recorder is enabled: every frame
@@ -26,6 +27,21 @@
 // coordinator with exponential backoff, bounded by -repair-retries.
 // Combine with -loss to watch repair close real gaps
 // (aqos_repair_requests / aqos_repair_success in /metrics).
+//
+// With -record <path>, a persistent session record is streamed to the
+// file as JSONL (DESIGN.md §13): pipeline spans, sampled QoS gauges,
+// inference decisions and SLO conformance transitions under a
+// versioned schema header.  After the run the file is loaded back and
+// verified against the in-memory counters.
+//
+// With -slo (default on), every client's QoS contract is monitored as
+// an SLO with sim-scale windows, and the summary prints the
+// conformance table, the state transitions and — for any violation —
+// the attribution bundle (worst trace IDs, surrounding inference
+// decisions, radio snapshot).  Combine with -loss to watch clients go
+// violated under chaos and recover as gap repair converges.
+//
+// -loss accepts either a probability (0.2) or a percentage (20).
 package main
 
 import (
@@ -45,6 +61,7 @@ import (
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/snmp"
 	"adaptiveqos/internal/trace"
 	"adaptiveqos/internal/transport"
@@ -61,24 +78,60 @@ func main() {
 	repairTimeout := flag.Duration("repair-timeout", 250*time.Millisecond, "gap stall timeout before a NACK to the coordinator (0 disables gap repair)")
 	repairRetries := flag.Int("repair-retries", 6, "repair request budget per gap before skipping it")
 	traceFlag := flag.Bool("trace", false, "enable the cross-node flight recorder and print a sampled timeline in the summary")
+	recordPath := flag.String("record", "", "stream a JSONL session record to this file (enables instrumentation)")
+	sloFlag := flag.Bool("slo", true, "monitor per-client SLO conformance and print the summary")
 	flag.Parse()
 
-	if *traceFlag {
+	if *loss > 1 {
+		*loss /= 100 // -loss 20 means 20%
+	}
+	if *traceFlag || *recordPath != "" {
+		// Session records carry trace IDs; recording implies tracing so
+		// the recorded spans are attributable.
 		obs.SetTraceEnabled(true)
 	}
 
 	var collector *obs.Collector
 	if *obsAddr != "" {
-		obs.SetEnabled(true)
 		srv, err := obs.Serve(*obsAddr)
 		if err != nil {
 			log.Fatalf("collab: observability endpoint: %v", err)
 		}
 		defer srv.Close()
-		log.Printf("collab: serving /metrics and /debug/qos on %s", *obsAddr)
+		log.Printf("collab: serving /metrics and the /debug index on %s", *obsAddr)
+	}
+	if *obsAddr != "" || *recordPath != "" {
+		obs.SetEnabled(true)
 		collector = obs.NewCollector(100 * time.Millisecond)
 		collector.Start()
 		defer collector.Stop()
+	}
+	if *recordPath != "" {
+		if _, err := obs.StartRecording(*recordPath, "collab"); err != nil {
+			log.Fatalf("collab: session record: %v", err)
+		}
+		log.Printf("collab: recording session to %s", *recordPath)
+	}
+
+	// SLO conformance monitoring: the sim runs seconds, not days, so
+	// the windows are sim-scale — violations show within ~half a second
+	// of sustained badness and recovery within a couple of polls of the
+	// burn dying down.  The loss budget sits above the repair loop's
+	// residual (tail losses are invisible to gap detection) so a
+	// repaired session can actually recover.
+	var sloEng *slo.Engine
+	if *sloFlag {
+		slo.SetEnabled(true)
+		sloSpec := slo.SpecForClass("interactive")
+		sloSpec.LossMax = 0.08
+		sloSpec.ShortWindow = 400 * time.Millisecond
+		sloSpec.LongWindow = 1600 * time.Millisecond
+		sloSpec.HoldDown = 400 * time.Millisecond
+		sloSpec.RecoveryDeadline = 2 * time.Second
+		sloEng = slo.Default()
+		sloEng.SetDefaultSpec(sloSpec)
+		sloEng.Run(50 * time.Millisecond)
+		defer sloEng.Stop()
 	}
 
 	wiredNet := transport.NewSimNet(transport.SimNetConfig{
@@ -226,6 +279,28 @@ func main() {
 		// coordinator and absorb the replays before the summary.
 		time.Sleep(4**repairTimeout + 500*time.Millisecond)
 	}
+	if sloEng != nil {
+		// Let the SLO windows drain post-traffic so violated clients can
+		// walk to recovered before the summary (bounded wait: a client
+		// pinned down by unrepaired loss stays violated, honestly).
+		deadline := time.Now().Add(4 * time.Second)
+		for time.Now().Before(deadline) {
+			if collector != nil {
+				collector.SampleOnce()
+			}
+			violated := false
+			for _, st := range sloEng.Status() {
+				if st.State == slo.StateViolated {
+					violated = true
+					break
+				}
+			}
+			if !violated {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
 
 	fmt.Println("\n--- session summary ---")
 	for _, c := range wired {
@@ -279,6 +354,12 @@ func main() {
 		}
 	}
 
+	if sloEng != nil {
+		sloEng.Poll(time.Now())
+		fmt.Println("\n--- slo conformance ---")
+		sloEng.WriteSummary(os.Stdout, "")
+	}
+
 	if collector != nil {
 		collector.SampleOnce()
 		fmt.Println("\n--- qos telemetry ---")
@@ -287,6 +368,33 @@ func main() {
 			log.Printf("collab: holding observability endpoint on %s for %s", *obsAddr, *obsHold)
 			time.Sleep(*obsHold)
 		}
+	}
+
+	if *recordPath != "" {
+		if err := obs.StopRecording(); err != nil {
+			log.Fatalf("collab: session record: %v", err)
+		}
+		sess, err := obs.LoadSessionFile(*recordPath)
+		if err != nil {
+			log.Fatalf("collab: session record load: %v", err)
+		}
+		ctrs := metrics.Counters()
+		appended := ctrs[metrics.CtrRecordAppended]
+		fmt.Println("\n--- session record ---")
+		fmt.Printf("%s: schema %s v%d, node %s, truncated=%v\n",
+			*recordPath, sess.Header.Schema, sess.Header.Version, sess.Header.Node, sess.Truncated)
+		counts := sess.CountByType()
+		for _, typ := range []string{obs.RecTypeSpan, obs.RecTypeQoS, obs.RecTypeDecision, obs.RecTypeSLO, obs.RecTypeNote} {
+			if counts[typ] > 0 {
+				fmt.Printf("  %-8s %d\n", typ, counts[typ])
+			}
+		}
+		if uint64(len(sess.Events)) != appended {
+			log.Fatalf("collab: record verification FAILED: loaded %d events, aqos_record_appended=%d (dropped=%d)",
+				len(sess.Events), appended, ctrs[metrics.CtrRecordDropped])
+		}
+		fmt.Printf("record verified: %d loaded events match aqos_record_appended (dropped=%d)\n",
+			len(sess.Events), ctrs[metrics.CtrRecordDropped])
 	}
 }
 

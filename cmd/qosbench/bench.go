@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"adaptiveqos/internal/basestation"
 	"adaptiveqos/internal/message"
@@ -15,6 +17,7 @@ import (
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/registry"
 	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/transport"
 )
 
@@ -125,6 +128,37 @@ func microBenches() []struct {
 		{"match-10k-brute", func(b *testing.B) { benchMatchScaling(b, 10_000, false) }},
 		{"match-100k-index", func(b *testing.B) { benchMatchScaling(b, 100_000, true) }},
 		{"match-100k-brute", func(b *testing.B) { benchMatchScaling(b, 100_000, false) }},
+		{"slo-eval", func(b *testing.B) {
+			// The enabled SLO hot path: one classified observation into
+			// the sliding-window ring (DESIGN.md §13).
+			e := slo.NewEngine(slo.SpecForClass("interactive"))
+			e.Observe("bench-client", slo.ObjDelivery, float64(time.Millisecond))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Observe("bench-client", slo.ObjDelivery, float64(time.Millisecond))
+			}
+		}},
+		{"slo-observe-disabled", func(b *testing.B) {
+			// The disabled package-level entry point: one atomic load.
+			slo.SetEnabled(false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				slo.ObserveDelivery("bench-client", time.Millisecond)
+			}
+		}},
+		{"record-append", func(b *testing.B) {
+			// One session-record event offered to the bounded writer
+			// (JSONL encoding happens on the drain goroutine).
+			r := obs.NewRecorder(io.Discard, "bench", 0)
+			defer r.Close()
+			ev := obs.RecEvent{Type: obs.RecTypeSpan, AtNS: 1, Msg: "0000000000000abc", Stage: "deliver", NS: 250}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Append(ev)
+			}
+		}},
 	}
 }
 

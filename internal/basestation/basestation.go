@@ -34,6 +34,7 @@ import (
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/registry"
 	"adaptiveqos/internal/selector"
+	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/transport"
 )
 
@@ -173,11 +174,12 @@ type BaseStation struct {
 		fwdImage, fwdSketch, fwdText, downlk atomic.Uint64
 	}
 
-	closeOnce sync.Once
-	wiredDone chan struct{}
-	rfDone    chan struct{}
-	sweepStop chan struct{}
-	sweepDone chan struct{}
+	closeOnce     sync.Once
+	wiredDone     chan struct{}
+	rfDone        chan struct{}
+	sweepStop     chan struct{}
+	sweepDone     chan struct{}
+	unregRadioSrc func()
 }
 
 // New creates a base station bridging the wired multicast session and
@@ -218,6 +220,9 @@ func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg 
 		bs.tierGate(radio.TierText),
 		dispatch.Transmit(bs.rfTx),
 	)
+	// SLO violation attributions get the client's radio picture from
+	// here (Close unregisters).
+	bs.unregRadioSrc = slo.Default().RegisterRadioSource(bs.RadioSnapshot)
 	go bs.wiredLoop()
 	go bs.wirelessLoop()
 	go bs.sweepLoop()
@@ -244,6 +249,7 @@ func (bs *BaseStation) Stats() Stats {
 func (bs *BaseStation) Close() error {
 	var err error
 	bs.closeOnce.Do(func() {
+		bs.unregRadioSrc()
 		e1 := bs.wired.Close()
 		e2 := bs.wireless.Close()
 		close(bs.sweepStop)

@@ -9,9 +9,11 @@ package basestation
 import (
 	"fmt"
 
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/registry"
+	"adaptiveqos/internal/slo"
 )
 
 // Join admits a wireless client at the given geometry.  The base
@@ -87,7 +89,7 @@ func (bs *BaseStation) Assess(id string) (Assessment, error) {
 // the telemetry collector can register the base station directly.
 func (bs *BaseStation) SampleQoS(set func(name string, value float64)) {
 	ids := bs.reg.IDs()
-	set(`bs_clients{bs="`+bs.id+`"}`, float64(len(ids)))
+	set(`bs_clients{bs="`+metrics.EscapeLabel(bs.id)+`"}`, float64(len(ids)))
 	for _, id := range ids {
 		db, err := bs.channel.SIRdB(id)
 		if err != nil {
@@ -97,13 +99,37 @@ func (bs *BaseStation) SampleQoS(set func(name string, value float64)) {
 		if err != nil {
 			continue
 		}
-		label := `{bs="` + bs.id + `",client="` + id + `"}`
+		tier := bs.cfg.Thresholds.TierFor(db)
+		label := `{bs="` + metrics.EscapeLabel(bs.id) + `",client="` + metrics.EscapeLabel(id) + `"}`
 		set("client_sir_db"+label, db)
-		set("client_tier"+label, float64(bs.cfg.Thresholds.TierFor(db)))
+		set("client_tier"+label, float64(tier))
 		set("client_power"+label, cl.Power)
 		set("client_distance"+label, cl.Distance)
+		slo.ObserveTier(id, int(tier))
 	}
 	bs.pool.SampleQoS(set)
+}
+
+// RadioSnapshot reports the client's current radio state in the SLO
+// attribution shape; ok is false for clients this base station does
+// not serve.  Registered with the SLO engine as a RadioSource so
+// violation bundles carry the radio context.
+func (bs *BaseStation) RadioSnapshot(id string) (slo.RadioSnapshot, bool) {
+	db, err := bs.channel.SIRdB(id)
+	if err != nil {
+		return slo.RadioSnapshot{}, false
+	}
+	cl, err := bs.channel.Get(id)
+	if err != nil {
+		return slo.RadioSnapshot{}, false
+	}
+	return slo.RadioSnapshot{
+		BS:       bs.id,
+		SIRdB:    db,
+		Power:    cl.Power,
+		Distance: cl.Distance,
+		Tier:     int(bs.cfg.Thresholds.TierFor(db)),
+	}, true
 }
 
 // SetDistance moves a wireless client (mobility).

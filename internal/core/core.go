@@ -23,12 +23,14 @@ import (
 	"adaptiveqos/internal/inference"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/repair"
 	"adaptiveqos/internal/rtp"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/session"
+	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/snmp"
 	"adaptiveqos/internal/transport"
 )
@@ -222,6 +224,7 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 			MaxBackoff:   cfg.Repair.MaxBackoff,
 			Interval:     cfg.Repair.Interval,
 			Seed:         cfg.Repair.Seed,
+			Owner:        c.ID(),
 		}, c.repairRequest, c.repairAbandon)
 		c.rep.Start()
 	}
@@ -517,11 +520,13 @@ func (c *Client) process(m *message.Message) {
 		c.handleEvent(m)
 		dsp.End()
 		obs.AppendHop(msgID, c.ID(), obs.StageDeliver)
+		c.observeDeliverySLO(m)
 	case message.KindData:
 		dsp := obs.StartStage(msgID, obs.StageDeliver)
 		c.handleData(m)
 		dsp.End()
 		obs.AppendHop(msgID, c.ID(), obs.StageDeliver)
+		c.observeDeliverySLO(m)
 	case message.KindControl:
 		// RTCP feedback and lock notifications; other control traffic
 		// belongs to coordinators and base stations.
@@ -530,6 +535,18 @@ func (c *Client) process(m *message.Message) {
 		}
 		c.handleLockControl(m)
 	}
+}
+
+// observeDeliverySLO feeds one delivery's publish-to-apply latency
+// into the SLO engine.  Repair-released frames pass through here too,
+// so a repaired gap shows up as the high delivery latency it actually
+// cost the user.  One atomic load and no clock read while SLO
+// monitoring is off.
+func (c *Client) observeDeliverySLO(m *message.Message) {
+	if !slo.Enabled() || m.Timestamp.IsZero() {
+		return
+	}
+	slo.ObserveDelivery(c.ID(), time.Since(m.Timestamp))
 }
 
 func (c *Client) handleEvent(m *message.Message) {
@@ -841,7 +858,7 @@ func (c *Client) SampleQoS(set func(name string, value float64)) {
 	c.rtpMu.Unlock()
 	var expected, uniq uint64
 	for _, sn := range snaps {
-		label := `{client="` + c.ID() + `",sender="` + sn.sender + `"}`
+		label := `{client="` + metrics.EscapeLabel(c.ID()) + `",sender="` + metrics.EscapeLabel(sn.sender) + `"}`
 		var frac float64
 		if exp := sn.s.ExpectedTotal; exp > sn.s.Unique {
 			frac = float64(exp-sn.s.Unique) / float64(exp)
@@ -856,7 +873,8 @@ func (c *Client) SampleQoS(set func(name string, value float64)) {
 		if expected > uniq {
 			frac = float64(expected-uniq) / float64(expected)
 		}
-		set(`client_loss_fraction{client="`+c.ID()+`"}`, frac)
+		set(`client_loss_fraction{client="`+metrics.EscapeLabel(c.ID())+`"}`, frac)
+		slo.ObserveLoss(c.ID(), frac)
 	}
 }
 
@@ -898,6 +916,7 @@ func (c *Client) AdaptOnce() (inference.Decision, error) {
 	// (and the QoS contract) adapts to.
 	if loss, ok := c.observedLoss(); ok {
 		state.SetNumber(inference.StateLoss, loss)
+		slo.ObserveLoss(c.ID(), loss)
 	}
 	if jitter, ok := c.observedJitter(); ok {
 		state.SetNumber("jitter", jitter)

@@ -210,7 +210,7 @@ func (p *Pool) Each(msgID uint64, ids []string, fn func(id string) error) error 
 // broker embedding the pool) can wire it directly.
 func (p *Pool) SampleQoS(set func(name string, value float64)) {
 	for i, sh := range p.shards {
-		set(`dispatch_queue_depth{pool="`+p.cfg.Name+`",shard="`+shardLabel(i)+`"}`, float64(len(sh)))
+		set(`dispatch_queue_depth{pool="`+metrics.EscapeLabel(p.cfg.Name)+`",shard="`+shardLabel(i)+`"}`, float64(len(sh)))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/snmp"
 )
 
@@ -221,7 +222,7 @@ func (h *Host) SampleQoS(set func(name string, value float64)) {
 	}
 	h.mu.RUnlock()
 	for param, v := range params {
-		set(`host_param{host="`+h.Name+`",param="`+param+`"}`, v)
+		set(`host_param{host="`+metrics.EscapeLabel(h.Name)+`",param="`+metrics.EscapeLabel(param)+`"}`, v)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -178,16 +179,27 @@ func (e *Engine) Decide(state selector.Attributes) Decision {
 		r.fired.Inc()
 	}
 	if obs.Enabled() {
+		at := time.Now().UnixNano()
 		recordAudit(AuditEntry{
-			At:         time.Now().UnixNano(),
+			At:         at,
 			Client:     owner,
 			State:      formatState(state),
 			Fired:      append([]string(nil), d.Fired...),
 			Budget:     d.PacketBudget,
-			Modality:   string(d.Modality),
 			Satisfied:  d.Contract.Satisfied,
+			Modality:   string(d.Modality),
 			Violations: append([]string(nil), d.Contract.Violated...),
 		})
+		if obs.Recording() {
+			obs.RecordEvent(obs.RecEvent{
+				Type:   obs.RecTypeDecision,
+				AtNS:   at,
+				Client: owner,
+				Name:   strings.Join(d.Fired, ","),
+				Value:  float64(d.PacketBudget),
+				Detail: string(d.Modality),
+			})
+		}
 	}
 	return d
 }

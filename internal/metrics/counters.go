@@ -129,13 +129,99 @@ const (
 	CtrMatchIndexCandidates = "match.index.candidates"
 	CtrMatchIndexFallback   = "match.index.fallback"
 	CtrMatchIndexReindex    = "match.index.reindex"
+	// SLO conformance counters (internal/slo, DESIGN.md §13): state
+	// transitions, entries into the violated state, violated→recovered
+	// recoveries, and the adaptation-effectiveness verdicts (did the
+	// adaptation restore conformance within the recovery deadline).
+	CtrSLOTransitions        = "slo.transitions"
+	CtrSLOViolations         = "slo.violations"
+	CtrSLORecoveries         = "slo.recoveries"
+	CtrAdaptationEffective   = "slo.adaptation.effective"
+	CtrAdaptationIneffective = "slo.adaptation.ineffective"
+	// Session-recorder counters (internal/obs record.go, DESIGN.md
+	// §13): events accepted into the JSONL stream and events shed when
+	// the bounded buffer was full.
+	CtrRecordAppended = "record.appended"
+	CtrRecordDropped  = "record.dropped"
 )
+
+// SLOClientViolations names the per-client violation counter (exposed
+// as aqos_slo_client_violations{client="..."}); the client ID is
+// escaped so hostile names cannot break the exposition format.
+func SLOClientViolations(client string) string {
+	return `slo.client.violations{client="` + EscapeLabel(client) + `"}`
+}
 
 // RuleFired names the per-rule inference firing counter (exposed as
 // aqos_inference_rule_fired{rule="..."}); the label-bearing family is
 // pre-touched per rule at AddRule time, not here.
 func RuleFired(rule string) string {
-	return `inference.rule.fired{rule="` + rule + `"}`
+	return `inference.rule.fired{rule="` + EscapeLabel(rule) + `"}`
+}
+
+// EscapeLabel escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote and newline become \\,
+// \" and \n.  Every metric name that embeds a runtime string in a
+// label (client IDs, sender names, hosts — some arrive off the wire)
+// must pass it through here, or a hostile name could split a sample
+// line or forge extra labels.  Values without escapable bytes are
+// returned unchanged, allocation-free.
+func EscapeLabel(v string) string {
+	i := 0
+	for ; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			break
+		}
+	}
+	if i == len(v) {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 8)
+	sb.WriteString(v[:i])
+	for ; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// UnescapeLabel reverses EscapeLabel (exposition-format parsers and
+// round-trip tests).
+func UnescapeLabel(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default: // unknown escape: keep both bytes
+				sb.WriteByte(c)
+				sb.WriteByte(v[i])
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
 }
 
 // defaultCounterNames lists every unlabeled counter family declared
@@ -153,6 +239,9 @@ var defaultCounterNames = []string{
 	CtrArchiveDupDrops,
 	CtrTraceHopsDropped, CtrTraceWireMerged, CtrTraceWireBad,
 	CtrMatchIndexCandidates, CtrMatchIndexFallback, CtrMatchIndexReindex,
+	CtrSLOTransitions, CtrSLOViolations, CtrSLORecoveries,
+	CtrAdaptationEffective, CtrAdaptationIneffective,
+	CtrRecordAppended, CtrRecordDropped,
 }
 
 // TouchDefaults pre-registers every declared counter family in the

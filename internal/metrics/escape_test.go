@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain-client-7",
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`all three: \ " ` + "\n" + ` mixed`,
+		`trailing backslash\`,
+		"\n\"\\",
+	}
+	for _, in := range cases {
+		esc := EscapeLabel(in)
+		if strings.ContainsRune(esc, '\n') {
+			t.Errorf("EscapeLabel(%q) = %q carries a raw newline", in, esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			if esc[i] == '\\' {
+				i++ // whatever follows is escaped
+				continue
+			}
+			if esc[i] == '"' {
+				t.Errorf("EscapeLabel(%q) = %q carries an unescaped quote", in, esc)
+			}
+		}
+		if got := UnescapeLabel(esc); got != in {
+			t.Errorf("round trip %q -> %q -> %q", in, esc, got)
+		}
+	}
+}
+
+func TestEscapeLabelCleanValueUnchanged(t *testing.T) {
+	const v = "wired-0.site_a:42"
+	if got := EscapeLabel(v); got != v {
+		t.Fatalf("EscapeLabel(%q) = %q, want unchanged", v, got)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = EscapeLabel(v) }); n != 0 {
+		t.Fatalf("EscapeLabel on a clean value allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestUnescapeLabelUnknownEscapeKeepsBytes(t *testing.T) {
+	if got := UnescapeLabel(`a\xb`); got != `a\xb` {
+		t.Fatalf("unknown escape: got %q, want both bytes kept", got)
+	}
+	if got := UnescapeLabel(`lone trailing \`); got != `lone trailing \` {
+		t.Fatalf("trailing backslash: got %q", got)
+	}
+}
+
+func TestLabeledCounterNameConstructorsEscape(t *testing.T) {
+	hostile := "evil\"} forged_metric 1\n"
+	for _, tc := range []struct{ name, prefix string }{
+		{SLOClientViolations(hostile), `slo.client.violations{client="`},
+		{RuleFired(hostile), `inference.rule.fired{rule="`},
+	} {
+		if strings.ContainsRune(tc.name, '\n') {
+			t.Errorf("%q carries a raw newline: a hostile id can split the sample line", tc.name)
+		}
+		if !strings.HasPrefix(tc.name, tc.prefix) || !strings.HasSuffix(tc.name, `"}`) {
+			t.Fatalf("%q lost its label-block shape", tc.name)
+		}
+		val := strings.TrimSuffix(strings.TrimPrefix(tc.name, tc.prefix), `"}`)
+		if got := UnescapeLabel(val); got != hostile {
+			t.Errorf("embedded value round trip = %q, want %q", got, hostile)
+		}
+	}
+	if got := SLOClientViolations("c1"); got != `slo.client.violations{client="c1"}` {
+		t.Errorf("SLOClientViolations(c1) = %q", got)
+	}
+}

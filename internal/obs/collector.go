@@ -41,14 +41,23 @@ func (c *Collector) Register(fn SamplerFunc) {
 }
 
 // SampleOnce runs every sampler immediately (deterministic snapshots
-// for tests and debug dumps).
+// for tests and debug dumps).  When a session recorder is installed,
+// each sampled gauge is also appended to the record as a qos event.
 func (c *Collector) SampleOnce() {
 	c.mu.Lock()
 	samplers := make([]SamplerFunc, len(c.samplers))
 	copy(samplers, c.samplers)
 	c.mu.Unlock()
+	set := SetGauge
+	if r := rec.Load(); r != nil {
+		at := time.Now().UnixNano()
+		set = func(name string, value float64) {
+			SetGauge(name, value)
+			r.Append(RecEvent{Type: RecTypeQoS, AtNS: at, Name: name, Value: value})
+		}
+	}
 	for _, fn := range samplers {
-		fn(SetGauge)
+		fn(set)
 	}
 }
 

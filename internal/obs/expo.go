@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -227,14 +229,58 @@ func RegisterDebug(path string, h http.HandlerFunc) {
 	extras.mu.Unlock()
 }
 
-// Handler serves the exposition endpoints: /metrics (Prometheus text
-// format, runtime gauges refreshed per scrape), /debug/qos (human
-// dump; ?events=N bounds the trace tail, default 64), /debug/trace
-// (flight-recorder timelines; ?msg=<hex id> or ?sender=&seq=), any
-// registered extras (e.g. the inference engine's /debug/decisions),
-// and the net/http/pprof profiling suite under /debug/pprof/.
+// debugIndex lists the built-in endpoints on the /debug index page;
+// registered extras are appended at render time.
+var debugIndex = []struct{ path, desc string }{
+	{"/metrics", "Prometheus text exposition (counters, gauges, histograms)"},
+	{"/debug/qos", "human QoS dump: stage latency quantiles, gauges, trace events"},
+	{"/debug/trace", "flight-recorder timelines (?msg=<hex id> or ?sender=&seq=)"},
+	{"/debug/slo", "per-client SLO conformance, transitions and attribution"},
+	{"/debug/decisions", "inference decision audit (?client=<id>)"},
+	{"/debug/pprof/", "net/http/pprof profiling suite"},
+}
+
+// writeDebugIndex renders the /debug index page linking every
+// exposition endpoint (plus any registered extras not already listed).
+func writeDebugIndex(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("adaptiveqos observability endpoints:\n\n")
+	listed := make(map[string]bool, len(debugIndex))
+	for _, e := range debugIndex {
+		listed[e.path] = true
+		fmt.Fprintf(&sb, "  %-18s %s\n", e.path, e.desc)
+	}
+	extras.mu.Lock()
+	var more []string
+	for path := range extras.m {
+		if !listed[path] {
+			more = append(more, path)
+		}
+	}
+	extras.mu.Unlock()
+	sort.Strings(more)
+	for _, path := range more {
+		fmt.Fprintf(&sb, "  %-18s (registered)\n", path)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the exposition endpoints: a /debug index page,
+// /metrics (Prometheus text format, runtime gauges refreshed per
+// scrape), /debug/qos (human dump; ?events=N bounds the trace tail,
+// default 64), /debug/trace (flight-recorder timelines; ?msg=<hex id>
+// or ?sender=&seq=), any registered extras (the inference engine's
+// /debug/decisions, the SLO engine's /debug/slo), and the
+// net/http/pprof profiling suite under /debug/pprof/.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
+	index := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeDebugIndex(w)
+	}
+	mux.HandleFunc("/", index)
+	mux.HandleFunc("/debug", index)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		SampleRuntime(SetGauge)
@@ -292,16 +338,53 @@ func Handler() http.Handler {
 	return mux
 }
 
+// Server is a running exposition endpoint.  Close drains in-flight
+// scrapes gracefully (bounded by shutdownGrace) before tearing the
+// listener down.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// serveReadHeaderTimeout bounds how long a connection may dribble its
+// request headers; without it an idle or hostile scraper pins a
+// goroutine and a socket forever (Slowloris).
+const serveReadHeaderTimeout = 5 * time.Second
+
+// shutdownGrace bounds how long Close waits for in-flight scrapes.
+const shutdownGrace = 2 * time.Second
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down gracefully: the listener stops
+// accepting, in-flight responses get shutdownGrace to complete, then
+// remaining connections are torn down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
 // Serve starts the exposition endpoint on addr in a background
-// goroutine and returns the listening server (caller closes it).
-func Serve(addr string) (*http.Server, error) {
-	srv := &http.Server{Addr: addr, Handler: Handler()}
+// goroutine and returns the running server (caller closes it).  The
+// server is configured rather than bare: ReadHeaderTimeout against
+// slow-header connections, and graceful Shutdown on Close.
+func Serve(addr string) (*Server, error) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           Handler(),
+		ReadHeaderTimeout: serveReadHeaderTimeout,
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	go srv.Serve(ln)
-	return srv, nil
+	return &Server{srv: srv, ln: ln}, nil
 }
 
 func parsePositive(s string) (int, error) {

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeAndGracefulClose runs the real Serve path on an ephemeral
+// port: the index page must advertise the debug endpoints, /metrics
+// must answer, and Close must tear the listener down so further
+// connections fail.
+func TestServeAndGracefulClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/debug")
+	if err != nil {
+		t.Fatalf("GET /debug: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	index := string(body)
+	for _, want := range []string{"/metrics", "/debug/qos", "/debug/trace", "/debug/slo", "/debug/pprof/"} {
+		if !strings.Contains(index, want) {
+			t.Errorf("index missing %s:\n%s", want, index)
+		}
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "aqos_") {
+		t.Error("/metrics carries no aqos_ samples")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}

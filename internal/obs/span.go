@@ -100,7 +100,12 @@ func (sp Span) End() {
 	if sp.start == 0 {
 		return
 	}
-	stageHists[sp.stage].Observe(time.Now().UnixNano() - sp.start)
+	d := time.Now().UnixNano() - sp.start
+	stageHists[sp.stage].Observe(d)
+	if r := rec.Load(); r != nil {
+		r.Append(RecEvent{Type: RecTypeSpan, AtNS: sp.start,
+			Msg: TraceHex(sp.id), Stage: sp.stage.String(), NS: d})
+	}
 }
 
 // EndErr records the span with a drop/rejection annotation instead of
@@ -119,6 +124,10 @@ func (sp Span) EndErr(detail string) {
 		NS:     d,
 		Detail: detail,
 	})
+	if r := rec.Load(); r != nil {
+		r.Append(RecEvent{Type: RecTypeSpan, AtNS: sp.start,
+			Msg: TraceHex(sp.id), Stage: sp.stage.String(), NS: d, Detail: detail})
+	}
 }
 
 // Drop records a discrete pipeline event — a message dropped,
@@ -128,13 +137,18 @@ func Drop(id uint64, s Stage, detail string) {
 	if !enabled.Load() {
 		return
 	}
+	at := time.Now().UnixNano()
 	events.add(Event{
-		At:     time.Now().UnixNano(),
+		At:     at,
 		MsgID:  id,
 		Stage:  s,
 		Kind:   EventDrop,
 		Detail: detail,
 	})
+	if r := rec.Load(); r != nil {
+		r.Append(RecEvent{Type: RecTypeNote, AtNS: at,
+			Msg: TraceHex(id), Stage: s.String(), Detail: "drop: " + detail})
+	}
 }
 
 // Note records an informational pipeline event (e.g. a transform
@@ -143,11 +157,16 @@ func Note(id uint64, s Stage, detail string) {
 	if !enabled.Load() {
 		return
 	}
+	at := time.Now().UnixNano()
 	events.add(Event{
-		At:     time.Now().UnixNano(),
+		At:     at,
 		MsgID:  id,
 		Stage:  s,
 		Kind:   EventNote,
 		Detail: detail,
 	})
+	if r := rec.Load(); r != nil {
+		r.Append(RecEvent{Type: RecTypeNote, AtNS: at,
+			Msg: TraceHex(id), Stage: s.String(), Detail: detail})
+	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/slo"
 )
 
 // Stream is one monitored in-order stream: Gap reports the first
@@ -66,6 +67,10 @@ type Config struct {
 	Interval time.Duration
 	// Seed makes the jitter reproducible (0 means 1).
 	Seed int64
+	// Owner names the client this engine repairs for; repair
+	// convergence latencies are attributed to it in the SLO engine
+	// (empty = unattributed, SLO feed skipped).
+	Owner string
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +257,9 @@ func (e *Engine) Poll(now time.Time) {
 				st.repaired++
 				metrics.C(metrics.CtrRepairSuccess).Inc()
 				obs.StageHistogram(obs.StageRepair).Observe(now.Sub(st.firstRequest).Nanoseconds())
+				if e.cfg.Owner != "" {
+					slo.ObserveRepair(e.cfg.Owner, now.Sub(st.firstRequest))
+				}
 				if obs.Enabled() {
 					obs.Note(0, obs.StageRepair, fmt.Sprintf(
 						"stream %s: gap at %d repaired after %d request(s)", name, st.waitingFor, st.attempts))

@@ -1,0 +1,389 @@
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
+)
+
+// State is a client's conformance state.
+type State uint8
+
+// The conformance state machine.  Recovered is distinct from
+// conforming so operators (and the effectiveness counters) can see
+// that a client came back rather than never left.
+const (
+	StateConforming State = iota
+	StateAtRisk
+	StateViolated
+	StateRecovered
+	numStates
+)
+
+var stateNames = [numStates]string{"conforming", "at-risk", "violated", "recovered"}
+
+// String returns the state label.
+func (s State) String() string {
+	if s < numStates {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
+
+// Transition is one recorded conformance-state change.
+type Transition struct {
+	AtNS      int64
+	Client    string
+	From, To  State
+	Objective Objective // worst-burning objective at transition time
+	BurnShort float64
+	BurnLong  float64
+}
+
+// maxTransitions bounds the engine's transition log.
+const maxTransitions = 256
+
+// BurnPair is one objective's short/long-window burn at the last poll.
+type BurnPair struct {
+	Short, Long float64
+}
+
+// clientState is everything the engine tracks for one client.
+type clientState struct {
+	spec   Spec
+	series [numObjectives]series
+
+	state   State
+	sinceNS int64
+
+	violatedAtNS   int64
+	deadlineScored bool
+	violations     uint64
+
+	burns     [numObjectives]BurnPair
+	worst     Objective
+	burnShort float64 // max over objectives
+	burnLong  float64
+
+	attributions []Attribution
+}
+
+// ClientStatus is a point-in-time conformance summary for one client
+// (debug views, collab's session summary).
+type ClientStatus struct {
+	Client     string
+	Class      string
+	State      State
+	SinceNS    int64
+	Violations uint64
+	Worst      Objective
+	BurnShort  float64
+	BurnLong   float64
+	Burns      [numObjectives]BurnPair
+}
+
+// Engine evaluates per-client SLO specs over sliding windows and runs
+// the conformance state machine.  All methods are safe for concurrent
+// use.
+type Engine struct {
+	mu          sync.Mutex
+	defaultSpec Spec
+	clients     map[string]*clientState
+	transitions []Transition
+	sources     []RadioSource
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewEngine creates an engine whose unregistered clients get spec
+// (zero-value fields take defaults; a fully zero spec enables no
+// objectives until clients are registered explicitly).
+func NewEngine(spec Spec) *Engine {
+	return &Engine{
+		defaultSpec: spec.withDefaults(),
+		clients:     make(map[string]*clientState),
+	}
+}
+
+// SetDefaultSpec replaces the spec applied to clients first seen after
+// this call; already-known clients keep theirs.
+func (e *Engine) SetDefaultSpec(spec Spec) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defaultSpec = spec.withDefaults()
+}
+
+// Register binds a client to a spec, resetting any prior window state.
+func (e *Engine) Register(client string, spec Spec) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clients[client] = newClientState(spec, time.Now().UnixNano())
+}
+
+// RegisterRadioSource adds a radio-snapshot provider consulted when a
+// violation attribution is captured.  Sources are called with the
+// engine lock held and must not call back into the engine.  The
+// returned function unregisters.
+func (e *Engine) RegisterRadioSource(src RadioSource) func() {
+	e.mu.Lock()
+	e.sources = append(e.sources, src)
+	idx := len(e.sources) - 1
+	e.mu.Unlock()
+	return func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if idx < len(e.sources) {
+			e.sources[idx] = nil
+		}
+	}
+}
+
+func newClientState(spec Spec, nowNS int64) *clientState {
+	cs := &clientState{spec: spec.withDefaults(), sinceNS: nowNS}
+	for i := range cs.series {
+		cs.series[i] = newSeries(cs.spec.LongWindow)
+	}
+	return cs
+}
+
+// Observe records one observation for (client, objective) at the
+// current time, auto-registering unknown clients with the default
+// spec.  Classification against the spec target happens here; the
+// window ring stores only counts.
+func (e *Engine) Observe(client string, o Objective, v float64) {
+	e.observeAt(client, o, v, time.Now().UnixNano())
+}
+
+func (e *Engine) observeAt(client string, o Objective, v float64, nowNS int64) {
+	if o >= numObjectives {
+		return
+	}
+	e.mu.Lock()
+	cs, ok := e.clients[client]
+	if !ok {
+		cs = newClientState(e.defaultSpec, nowNS)
+		e.clients[client] = cs
+	}
+	cs.series[o].observe(nowNS, v, cs.spec.bad(o, v))
+	e.mu.Unlock()
+}
+
+// Poll evaluates every client's windows at now and advances the
+// conformance state machine.  Deterministic: tests drive it with
+// synthetic clocks.
+func (e *Engine) Poll(now time.Time) {
+	nowNS := now.UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for client, cs := range e.clients {
+		e.pollClient(client, cs, nowNS)
+	}
+}
+
+func (e *Engine) pollClient(client string, cs *clientState, nowNS int64) {
+	sp := cs.spec
+	cs.burnShort, cs.burnLong = 0, 0
+	cs.worst = ObjDelivery
+	for o := Objective(0); o < numObjectives; o++ {
+		bs := sp.burnRate(o, &cs.series[o], nowNS, sp.ShortWindow)
+		bl := sp.burnRate(o, &cs.series[o], nowNS, sp.LongWindow)
+		cs.burns[o] = BurnPair{Short: bs, Long: bl}
+		if bs > cs.burnShort {
+			cs.burnShort, cs.worst = bs, o
+		}
+		if bl > cs.burnLong {
+			cs.burnLong = bl
+		}
+	}
+
+	// Multi-window rule: the short window reacts, the long window
+	// confirms — a violation needs both burning.
+	violate := cs.burnShort >= sp.ViolateBurn && cs.burnLong >= sp.AtRiskBurn
+
+	switch cs.state {
+	case StateConforming:
+		if violate {
+			e.setState(client, cs, StateViolated, nowNS)
+		} else if cs.burnShort >= sp.AtRiskBurn {
+			e.setState(client, cs, StateAtRisk, nowNS)
+		}
+	case StateAtRisk:
+		if violate {
+			e.setState(client, cs, StateViolated, nowNS)
+		} else if cs.burnShort < sp.RecoverBurn {
+			e.setState(client, cs, StateConforming, nowNS)
+		}
+	case StateViolated:
+		if !cs.deadlineScored && nowNS-cs.violatedAtNS > sp.RecoveryDeadline.Nanoseconds() {
+			// Adaptation failed to restore conformance in time.
+			cs.deadlineScored = true
+			metrics.C(metrics.CtrAdaptationIneffective).Inc()
+		}
+		if cs.burnShort < sp.RecoverBurn {
+			e.setState(client, cs, StateRecovered, nowNS)
+		}
+	case StateRecovered:
+		if violate {
+			e.setState(client, cs, StateViolated, nowNS)
+		} else if cs.burnShort < sp.AtRiskBurn && nowNS-cs.sinceNS >= sp.HoldDown.Nanoseconds() {
+			e.setState(client, cs, StateConforming, nowNS)
+		}
+	}
+
+	label := `{client="` + metrics.EscapeLabel(client) + `"}`
+	obs.SetGauge("slo_state"+label, float64(cs.state))
+	obs.SetGauge("slo_burn_short"+label, cs.burnShort)
+	obs.SetGauge("slo_burn_long"+label, cs.burnLong)
+}
+
+// setState performs one transition with all its side effects: the
+// transition log, counters, gauges, the session record, and — on entry
+// into violated — attribution capture and the effectiveness clock.
+// Caller holds e.mu.
+func (e *Engine) setState(client string, cs *clientState, to State, nowNS int64) {
+	from := cs.state
+	if from == to {
+		return
+	}
+	cs.state = to
+	cs.sinceNS = nowNS
+
+	tr := Transition{
+		AtNS:      nowNS,
+		Client:    client,
+		From:      from,
+		To:        to,
+		Objective: cs.worst,
+		BurnShort: cs.burnShort,
+		BurnLong:  cs.burnLong,
+	}
+	if len(e.transitions) >= maxTransitions {
+		copy(e.transitions, e.transitions[1:])
+		e.transitions = e.transitions[:maxTransitions-1]
+	}
+	e.transitions = append(e.transitions, tr)
+	metrics.C(metrics.CtrSLOTransitions).Inc()
+
+	switch to {
+	case StateViolated:
+		cs.violations++
+		cs.violatedAtNS = nowNS
+		cs.deadlineScored = false
+		metrics.C(metrics.CtrSLOViolations).Inc()
+		metrics.C(metrics.SLOClientViolations(client)).Inc()
+		a := captureAttribution(client, cs.worst, cs.burnShort, cs.burnLong, nowNS, e.sources)
+		if len(cs.attributions) >= maxAttributions {
+			copy(cs.attributions, cs.attributions[1:])
+			cs.attributions = cs.attributions[:maxAttributions-1]
+		}
+		cs.attributions = append(cs.attributions, a)
+	case StateRecovered:
+		if from == StateViolated {
+			ttr := nowNS - cs.violatedAtNS
+			obs.H("slo_time_to_recover_ns").Observe(ttr)
+			metrics.C(metrics.CtrSLORecoveries).Inc()
+			if !cs.deadlineScored {
+				metrics.C(metrics.CtrAdaptationEffective).Inc()
+			}
+		}
+	}
+
+	obs.RecordEvent(obs.RecEvent{
+		Type:   obs.RecTypeSLO,
+		AtNS:   nowNS,
+		Client: client,
+		Name:   cs.worst.String(),
+		Value:  cs.burnShort,
+		Detail: from.String() + "->" + to.String(),
+	})
+}
+
+// Status returns every tracked client's conformance summary.
+func (e *Engine) Status() []ClientStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ClientStatus, 0, len(e.clients))
+	for client, cs := range e.clients {
+		st := ClientStatus{
+			Client:     client,
+			Class:      cs.spec.Class,
+			State:      cs.state,
+			SinceNS:    cs.sinceNS,
+			Violations: cs.violations,
+			Worst:      cs.worst,
+			BurnShort:  cs.burnShort,
+			BurnLong:   cs.burnLong,
+		}
+		copy(st.Burns[:], cs.burns[:])
+		out = append(out, st)
+	}
+	return out
+}
+
+// Transitions returns up to max recorded transitions, oldest first
+// (max <= 0 returns all).
+func (e *Engine) Transitions(max int) []Transition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	trs := e.transitions
+	if max > 0 && len(trs) > max {
+		trs = trs[len(trs)-max:]
+	}
+	return append([]Transition(nil), trs...)
+}
+
+// Attributions returns the client's retained violation bundles, oldest
+// first.
+func (e *Engine) Attributions(client string) []Attribution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs, ok := e.clients[client]
+	if !ok {
+		return nil
+	}
+	return append([]Attribution(nil), cs.attributions...)
+}
+
+// Run launches the periodic Poll loop (interval <= 0 defaults to 1s).
+// A second Run without an intervening Stop is a no-op.
+func (e *Engine) Run(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stop != nil {
+		return
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				e.Poll(time.Now())
+			}
+		}
+	}(e.stop, e.done)
+}
+
+// Stop halts the Poll loop and waits for it to exit.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	stop, done := e.stop, e.done
+	e.stop, e.done = nil, nil
+	e.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

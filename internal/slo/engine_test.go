@@ -1,0 +1,317 @@
+package slo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/metrics"
+	"adaptiveqos/internal/obs"
+)
+
+// testSpec is a loss-objective-only spec with second-scale windows the
+// tests can walk deterministically: budget 0.1, so burn = mean/0.1.
+func testSpec() Spec {
+	return Spec{
+		Class:            "test",
+		LossMax:          0.1,
+		ShortWindow:      time.Second,
+		LongWindow:       4 * time.Second,
+		HoldDown:         time.Second,
+		RecoveryDeadline: 4 * time.Second,
+	}.withDefaults()
+}
+
+func counterDelta(t *testing.T, name string, before map[string]uint64) uint64 {
+	t.Helper()
+	return metrics.Counters()[name] - before[name]
+}
+
+// feed observes n loss samples of value v spread over the bucket at t.
+func feed(e *Engine, client string, at time.Time, v float64, n int) {
+	for i := 0; i < n; i++ {
+		e.observeAt(client, ObjLoss, v, at.UnixNano())
+	}
+}
+
+func TestConformanceStateMachineFullWalk(t *testing.T) {
+	before := metrics.Counters()
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+
+	// Healthy: loss well under budget.
+	feed(e, "c1", base, 0.01, 4)
+	e.Poll(base.Add(200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateConforming {
+		t.Fatalf("healthy state = %s, want conforming", st.State)
+	}
+
+	// Short-window burn 1.5 (0.15/0.1): at-risk, not violated (short
+	// burn below the violate threshold).
+	feed(e, "c1", base.Add(1*time.Second), 0.15, 4)
+	e.Poll(base.Add(1200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateAtRisk {
+		t.Fatalf("at-risk walk: state = %s (burn %.2f/%.2f)", st.State, st.BurnShort, st.BurnLong)
+	}
+
+	// Burn 5 short with the long window confirming: violated.
+	feed(e, "c1", base.Add(2*time.Second), 0.5, 4)
+	e.Poll(base.Add(2200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateViolated || st.Violations != 1 {
+		t.Fatalf("violated walk: state = %s violations = %d", st.State, st.Violations)
+	}
+
+	// Burn dies down: recovered (within the deadline → effective).
+	feed(e, "c1", base.Add(3500*time.Millisecond), 0.01, 4)
+	e.Poll(base.Add(3700 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateRecovered {
+		t.Fatalf("recovery walk: state = %s (burn %.2f/%.2f)", st.State, st.BurnShort, st.BurnLong)
+	}
+
+	// Clean through the hold-down: conforming again.
+	e.Poll(base.Add(5 * time.Second))
+	if st := status(e, "c1"); st.State != StateConforming {
+		t.Fatalf("hold-down walk: state = %s, want conforming", st.State)
+	}
+
+	trs := e.Transitions(0)
+	want := []State{StateAtRisk, StateViolated, StateRecovered, StateConforming}
+	if len(trs) != len(want) {
+		t.Fatalf("transitions = %d, want %d (%+v)", len(trs), len(want), trs)
+	}
+	for i, tr := range trs {
+		if tr.To != want[i] || tr.Client != "c1" {
+			t.Errorf("transition %d = %s->%s, want to %s", i, tr.From, tr.To, want[i])
+		}
+	}
+
+	if d := counterDelta(t, metrics.CtrSLOTransitions, before); d != 4 {
+		t.Errorf("transition counter delta = %d, want 4", d)
+	}
+	if d := counterDelta(t, metrics.CtrSLOViolations, before); d != 1 {
+		t.Errorf("violation counter delta = %d, want 1", d)
+	}
+	if d := counterDelta(t, metrics.SLOClientViolations("c1"), before); d != 1 {
+		t.Errorf("per-client violation counter delta = %d, want 1", d)
+	}
+	if d := counterDelta(t, metrics.CtrSLORecoveries, before); d != 1 {
+		t.Errorf("recovery counter delta = %d, want 1", d)
+	}
+	if d := counterDelta(t, metrics.CtrAdaptationEffective, before); d != 1 {
+		t.Errorf("effective counter delta = %d, want 1", d)
+	}
+	if d := counterDelta(t, metrics.CtrAdaptationIneffective, before); d != 0 {
+		t.Errorf("ineffective counter delta = %d, want 0", d)
+	}
+}
+
+func status(e *Engine, client string) ClientStatus {
+	for _, st := range e.Status() {
+		if st.Client == client {
+			return st
+		}
+	}
+	return ClientStatus{}
+}
+
+func TestAtRiskRelaxesWithoutViolation(t *testing.T) {
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.15, 4)
+	e.Poll(base.Add(200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateAtRisk {
+		t.Fatalf("state = %s, want at-risk", st.State)
+	}
+	// Burn drains below RecoverBurn with no violation in between: back
+	// to conforming directly, never through recovered.
+	e.Poll(base.Add(3 * time.Second))
+	if st := status(e, "c1"); st.State != StateConforming {
+		t.Fatalf("state = %s, want conforming", st.State)
+	}
+	trs := e.Transitions(0)
+	if len(trs) != 2 || trs[1].To != StateConforming {
+		t.Fatalf("transitions = %+v", trs)
+	}
+}
+
+func TestBlownRecoveryDeadlineScoresIneffective(t *testing.T) {
+	before := metrics.Counters()
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+
+	feed(e, "c1", base, 0.5, 8)
+	e.Poll(base.Add(200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateViolated {
+		t.Fatalf("state = %s, want violated", st.State)
+	}
+	// Keep it burning past the 4s recovery deadline.
+	feed(e, "c1", base.Add(4*time.Second), 0.5, 8)
+	e.Poll(base.Add(4500 * time.Millisecond))
+	if d := counterDelta(t, metrics.CtrAdaptationIneffective, before); d != 1 {
+		t.Fatalf("ineffective delta = %d, want 1", d)
+	}
+	// A second poll past the deadline must not double-score.
+	feed(e, "c1", base.Add(5*time.Second), 0.5, 8)
+	e.Poll(base.Add(5500 * time.Millisecond))
+	if d := counterDelta(t, metrics.CtrAdaptationIneffective, before); d != 1 {
+		t.Fatalf("ineffective delta after re-poll = %d, want 1 (double-scored)", d)
+	}
+	// Late recovery still counts as a recovery, but not as effective.
+	e.Poll(base.Add(10 * time.Second))
+	if st := status(e, "c1"); st.State != StateRecovered {
+		t.Fatalf("state = %s, want recovered", st.State)
+	}
+	if d := counterDelta(t, metrics.CtrSLORecoveries, before); d != 1 {
+		t.Errorf("recovery delta = %d, want 1", d)
+	}
+	if d := counterDelta(t, metrics.CtrAdaptationEffective, before); d != 0 {
+		t.Errorf("effective delta = %d, want 0 (deadline was blown)", d)
+	}
+}
+
+func TestViolationAttributionBundle(t *testing.T) {
+	e := NewEngine(testSpec())
+	unreg := e.RegisterRadioSource(func(client string) (RadioSnapshot, bool) {
+		if client != "c1" {
+			return RadioSnapshot{}, false
+		}
+		return RadioSnapshot{BS: "bs", SIRdB: 7.5, Power: 0.8, Distance: 60, Tier: 2}, true
+	})
+	defer unreg()
+
+	// Retained flight-recorder traces ending at the violating client
+	// become the exemplars.
+	obs.SetTraceEnabled(true)
+	defer func() {
+		obs.SetTraceEnabled(false)
+		obs.ResetFlight()
+	}()
+	obs.ResetFlight()
+	slow := obs.MsgID("sender", 1)
+	fast := obs.MsgID("sender", 2)
+	other := obs.MsgID("sender", 3)
+	obs.AppendHop(slow, "sender", obs.StagePublish)
+	time.Sleep(2 * time.Millisecond)
+	obs.AppendHop(slow, "c1", obs.StageDeliver)
+	obs.AppendHop(fast, "sender", obs.StagePublish)
+	obs.AppendHop(fast, "c1", obs.StageDeliver)
+	obs.AppendHop(other, "sender", obs.StagePublish)
+	obs.AppendHop(other, "c2", obs.StageDeliver)
+
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.5, 8)
+	e.Poll(base.Add(200 * time.Millisecond))
+
+	atts := e.Attributions("c1")
+	if len(atts) != 1 {
+		t.Fatalf("attributions = %d, want 1", len(atts))
+	}
+	a := atts[0]
+	if a.Objective != ObjLoss || a.BurnShort < 2 {
+		t.Errorf("attribution objective/burn = %s %.2f", a.Objective, a.BurnShort)
+	}
+	if !a.RadioOK || a.Radio.BS != "bs" || a.Radio.Tier != 2 {
+		t.Errorf("radio snapshot = %+v ok=%v", a.Radio, a.RadioOK)
+	}
+	if len(a.Traces) != 2 {
+		t.Fatalf("trace exemplars = %+v, want the 2 traces ending at c1", a.Traces)
+	}
+	if a.Traces[0].ID != slow {
+		t.Errorf("worst exemplar = %016x, want the slow trace %016x", a.Traces[0].ID, slow)
+	}
+	for _, ex := range a.Traces {
+		if ex.ID == other {
+			t.Errorf("exemplar includes a trace that ended at another client")
+		}
+	}
+}
+
+func TestRegisterResetsAndSpecPerClient(t *testing.T) {
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.5, 8)
+	// Re-register: prior window state is discarded.
+	e.Register("c1", SpecForClass("bulk"))
+	e.Poll(base.Add(200 * time.Millisecond))
+	if st := status(e, "c1"); st.State != StateConforming || st.Class != "bulk" {
+		t.Fatalf("after re-register: %+v", st)
+	}
+}
+
+func TestTransitionLogBounded(t *testing.T) {
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	// Oscillate conforming <-> at-risk far past the log bound.
+	for i := 0; i < maxTransitions+40; i += 2 {
+		at := base.Add(time.Duration(i) * 8 * time.Second)
+		feed(e, "c1", at, 0.15, 4)
+		e.Poll(at.Add(200 * time.Millisecond))
+		e.Poll(at.Add(6 * time.Second)) // drained: back to conforming
+	}
+	if n := len(e.Transitions(0)); n != maxTransitions {
+		t.Fatalf("transition log = %d entries, want capped at %d", n, maxTransitions)
+	}
+	if got := e.Transitions(4); len(got) != 4 {
+		t.Fatalf("Transitions(4) = %d entries", len(got))
+	}
+}
+
+func TestWriteSummaryRendersStateAndTransitions(t *testing.T) {
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.5, 8)
+	e.Poll(base.Add(200 * time.Millisecond))
+
+	var sb strings.Builder
+	e.WriteSummary(&sb, "")
+	out := sb.String()
+	for _, want := range []string{"c1", "violated", "conforming -> violated", "violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Client filter drops other clients.
+	feed(e, "c2", base, 0.01, 1)
+	sb.Reset()
+	e.WriteSummary(&sb, "c2")
+	if strings.Contains(sb.String(), "conforming -> violated") {
+		t.Errorf("filtered summary leaked c1 transitions:\n%s", sb.String())
+	}
+}
+
+func TestSLOTransitionsAppendToSessionRecord(t *testing.T) {
+	var buf bytes.Buffer
+	r := obs.NewRecorder(&buf, "test", 0)
+	prev := obs.InstallRecorder(r)
+	defer func() {
+		obs.InstallRecorder(prev)
+		r.Close()
+	}()
+
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.5, 8)
+	e.Poll(base.Add(200 * time.Millisecond))
+
+	obs.InstallRecorder(prev)
+	if err := r.Close(); err != nil {
+		t.Fatalf("recorder close: %v", err)
+	}
+	sess, err := obs.LoadSession(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var slos int
+	for _, ev := range sess.Events {
+		if ev.Type == obs.RecTypeSLO {
+			slos++
+			if ev.Client != "c1" || !strings.Contains(ev.Detail, "violated") {
+				t.Errorf("slo record event = %+v", ev)
+			}
+		}
+	}
+	if slos != 1 {
+		t.Fatalf("recorded slo transitions = %d, want 1", slos)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package slo
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race.  Timing guards skip under the race detector: instrumented
+// atomics and locks make an overhead budget meaningless.
+const raceDetectorEnabled = true

@@ -1,0 +1,118 @@
+package slo
+
+import "time"
+
+// winBuckets is the bucket count behind each objective's sliding
+// window pair: the long window spans all buckets, the short window a
+// trailing subset, so one ring serves both without storing samples.
+const winBuckets = 16
+
+// wbucket accumulates one bucket interval's classified observations.
+type wbucket struct {
+	count uint64
+	bad   uint64
+	sum   float64
+}
+
+// series is a bucketed sliding window of observations for one
+// objective of one client.  Buckets rotate on absolute time index;
+// bucket p always holds the unique interval j in
+// (head-winBuckets, head] with j ≡ p (mod winBuckets) — advance
+// zeroes every interval it skips, so idle periods read as empty
+// rather than stale.  Callers synchronize (the owning clientState's
+// mutex).
+type series struct {
+	bucketNS int64
+	head     int64 // absolute index of the newest bucket; 0 = unset
+	buckets  [winBuckets]wbucket
+}
+
+func newSeries(long time.Duration) series {
+	b := long.Nanoseconds() / winBuckets
+	if b <= 0 {
+		b = 1
+	}
+	return series{bucketNS: b}
+}
+
+// advance rotates the ring forward to the bucket covering nowNS.
+func (s *series) advance(nowNS int64) {
+	idx := nowNS / s.bucketNS
+	if s.head == 0 {
+		s.head = idx
+		return
+	}
+	if idx <= s.head {
+		return
+	}
+	steps := idx - s.head
+	if steps > winBuckets {
+		steps = winBuckets
+	}
+	for i := int64(1); i <= steps; i++ {
+		s.buckets[(s.head+i)%winBuckets] = wbucket{}
+	}
+	s.head = idx
+}
+
+// observe records one classified observation at nowNS.
+func (s *series) observe(nowNS int64, v float64, bad bool) {
+	s.advance(nowNS)
+	b := &s.buckets[s.head%winBuckets]
+	b.count++
+	if bad {
+		b.bad++
+	}
+	b.sum += v
+}
+
+// window sums the trailing span ending at nowNS.
+func (s *series) window(nowNS int64, span time.Duration) (count, bad uint64, sum float64) {
+	if s.bucketNS == 0 || s.head == 0 {
+		return
+	}
+	n := (span.Nanoseconds() + s.bucketNS - 1) / s.bucketNS
+	if n < 1 {
+		n = 1
+	}
+	if n > winBuckets {
+		n = winBuckets
+	}
+	idx := nowNS / s.bucketNS
+	for i := int64(0); i < n; i++ {
+		j := idx - i
+		if j <= 0 {
+			break
+		}
+		if j > s.head {
+			continue // not yet written: empty future bucket
+		}
+		if s.head-j >= winBuckets {
+			break // rotated away
+		}
+		b := &s.buckets[j%winBuckets]
+		count += b.count
+		bad += b.bad
+		sum += b.sum
+	}
+	return
+}
+
+// burn computes the objective's burn rate over the trailing span: the
+// observed bad fraction (or, for the loss objective, the mean sampled
+// fraction) divided by the spec's error budget.  No samples in the
+// window reads as burn 0 — an idle client is not violating anything.
+func (sp Spec) burnRate(o Objective, ser *series, nowNS int64, span time.Duration) float64 {
+	budget, enabled := sp.budget(o)
+	if !enabled || budget <= 0 {
+		return 0
+	}
+	count, bad, sum := ser.window(nowNS, span)
+	if count == 0 {
+		return 0
+	}
+	if o == ObjLoss {
+		return (sum / float64(count)) / budget
+	}
+	return (float64(bad) / float64(count)) / budget
+}
