@@ -81,3 +81,43 @@ go test -count=1 -run 'TestExpositionParserRoundTrip|TestEscapeLabel|TestUnescap
 # under -race, like the timing guards above).
 go test -race -count=1 ./internal/matchindex/
 go test -count=1 -run TestFlatMatchGuard -v ./internal/registry/
+
+# Virtual-time gates (DESIGN.md §14).
+#
+# Clock purity: internal/clock is the bottom of the dependency graph —
+# it must import nothing from this module, so every layer can take an
+# injected clock without cycles.
+if go list -deps adaptiveqos/internal/clock | grep -x 'adaptiveqos/.*' | grep -qvx 'adaptiveqos/internal/clock'; then
+	echo "BOUNDARY VIOLATION: internal/clock imports repo packages:" >&2
+	go list -deps adaptiveqos/internal/clock | grep -x 'adaptiveqos/.*' >&2
+	exit 1
+fi
+
+# Scheduling ban: no production package outside internal/clock may call
+# the stdlib scheduling primitives directly — everything goes through an
+# injected clock.Clock so runs are reproducible on clock.Virtual.
+# time.Now / formatting are allowed; tests and examples are exempt.
+viol=$(grep -rn --include='*.go' -E 'time\.(After|AfterFunc|NewTicker|NewTimer|Sleep|Tick)\(' internal/ cmd/ \
+	| grep -v '^internal/clock/' | grep -v '_test\.go' || true)
+if [ -n "$viol" ]; then
+	echo "SCHEDULING VIOLATION: raw time scheduling outside internal/clock:" >&2
+	echo "$viol" >&2
+	exit 1
+fi
+
+# Determinism gate: the same seeded 1k-client scenario run twice must
+# produce byte-identical event logs and metric snapshots, race-clean.
+go test -race -count=1 -run 'TestScenarioDeterminism1k|TestScenarioAllKindsDeterministic|TestScenarioSeedSensitivity' ./internal/scenario/
+go test -race -count=1 ./internal/clock/ ./internal/transport/
+
+# Scale smoke: a 10k-client simulated minute must complete within 30s
+# of wall clock (it takes ~1-2s; the margin absorbs slow CI boxes).
+go build -o /tmp/qossim-ci ./cmd/qossim
+t0=$(date +%s)
+/tmp/qossim-ci -scenario lecture -clients 10000 -sim-duration 60s >/dev/null
+t1=$(date +%s)
+rm -f /tmp/qossim-ci
+if [ $((t1 - t0)) -gt 30 ]; then
+	echo "SCALE REGRESSION: 10k-client simulated minute took $((t1 - t0))s (budget 30s)" >&2
+	exit 1
+fi

@@ -53,6 +53,7 @@ import (
 
 	"adaptiveqos/internal/apps"
 	"adaptiveqos/internal/basestation"
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/core"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/media"
@@ -271,13 +272,13 @@ func main() {
 				log.Printf("collab: share: %v", err)
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		clock.Wall.Sleep(5 * time.Millisecond)
 	}
-	time.Sleep(200 * time.Millisecond) // drain in-flight deliveries
+	clock.Wall.Sleep(200 * time.Millisecond) // drain in-flight deliveries
 	if coord != nil && *loss > 0 {
 		// Give the repair loop time to detect stalls, NACK the
 		// coordinator and absorb the replays before the summary.
-		time.Sleep(4**repairTimeout + 500*time.Millisecond)
+		clock.Wall.Sleep(4**repairTimeout + 500*time.Millisecond)
 	}
 	if sloEng != nil {
 		// Let the SLO windows drain post-traffic so violated clients can
@@ -298,7 +299,7 @@ func main() {
 			if !violated {
 				break
 			}
-			time.Sleep(100 * time.Millisecond)
+			clock.Wall.Sleep(100 * time.Millisecond)
 		}
 	}
 
@@ -366,7 +367,7 @@ func main() {
 		obs.WriteQoSDebug(os.Stdout, 16)
 		if *obsHold > 0 {
 			log.Printf("collab: holding observability endpoint on %s for %s", *obsAddr, *obsHold)
-			time.Sleep(*obsHold)
+			clock.Wall.Sleep(*obsHold)
 		}
 	}
 

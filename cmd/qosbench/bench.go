@@ -16,6 +16,7 @@ import (
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/registry"
+	"adaptiveqos/internal/scenario"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/transport"
@@ -147,6 +148,8 @@ func microBenches() []struct {
 				slo.ObserveDelivery("bench-client", time.Millisecond)
 			}
 		}},
+		{"sim-10k", func(b *testing.B) { benchScenario(b, 10_000) }},
+		{"sim-100k", func(b *testing.B) { benchScenario(b, 100_000) }},
 		{"record-append", func(b *testing.B) {
 			// One session-record event offered to the bounded writer
 			// (JSONL encoding happens on the drain goroutine).
@@ -159,6 +162,37 @@ func microBenches() []struct {
 				r.Append(ev)
 			}
 		}},
+	}
+}
+
+// benchScenario measures one op = pushing a 10-second simulated
+// lecture-hall window through the discrete-event network at the given
+// population (DESIGN.md §14).  ns/op is the wall cost of that fixed
+// simulated window, so the 10k → 100k ratio is the DESNet scaling
+// curve.
+func benchScenario(b *testing.B, clients int) {
+	cfg := scenario.Config{
+		Kind:     scenario.LectureHall,
+		Clients:  clients,
+		Seed:     1,
+		Duration: 10 * time.Second,
+		Rate:     2,
+		Link: transport.Link{
+			Delay:  20 * time.Millisecond,
+			Jitter: 10 * time.Millisecond,
+			Loss:   0.01,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/hostagent"
 )
 
@@ -87,7 +88,9 @@ func main() {
 		hostagent.OIDCPULoad, hostagent.OIDPageFaults)
 
 	go func() {
-		for range time.Tick(*tick) {
+		ticker := clock.Wall.NewTicker(*tick)
+		defer ticker.Stop()
+		for range ticker.C() {
 			step := host.Step()
 			log.Printf("snmpd: step %d: cpu=%.0f%% faults=%.0f/s",
 				step, host.Get(hostagent.ParamCPULoad), host.Get(hostagent.ParamPageFaults))

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/dispatch"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/message"
@@ -93,6 +94,9 @@ type Config struct {
 	// relay dispatch path (default on; MatchIndexOff retains the
 	// O(clients) brute-force scan for A/B comparison, DESIGN.md §12).
 	MatchIndex MatchIndexMode
+	// Clock timestamps relayed frames and drives the collection
+	// sweeper (nil = wall clock).
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +147,7 @@ type Stats struct {
 // control plane.
 type BaseStation struct {
 	id       string
+	clk      clock.Clock
 	wired    transport.Conn // multicast session peer
 	wireless transport.Conn // radio-segment endpoint (unicast to clients)
 	cfg      Config
@@ -189,6 +194,7 @@ func New(id string, wired, wireless transport.Conn, channel *radio.Channel, cfg 
 	cfg = cfg.withDefaults()
 	bs := &BaseStation{
 		id:          id,
+		clk:         clock.Or(cfg.Clock),
 		wired:       wired,
 		wireless:    wireless,
 		cfg:         cfg,
@@ -274,7 +280,7 @@ func (bs *BaseStation) newMessage(kind message.Kind, sender, sel string, attrs s
 		Kind:      kind,
 		Sender:    sender,
 		Seq:       bs.seq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: bs.clk.Now(),
 		Selector:  sel,
 		Attrs:     attrs,
 		Body:      body,

@@ -102,7 +102,7 @@ func (bs *BaseStation) forwardTiered(sender, object, sel string, obj *media.Obje
 					PayloadType: 96,
 					Marker:      i == len(packets)-1,
 					Seq:         uint16(i),
-					Timestamp:   uint32(time.Now().UnixMilli()),
+					Timestamp:   uint32(bs.clk.Now().UnixMilli()),
 					SSRC:        fnv32(bs.id + "/" + object),
 					Payload:     p,
 				}
@@ -186,7 +186,7 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 			return
 		}
 		bs.collect.Announce(meta)
-		parked := bs.collections.Announce(meta.Object, meta, time.Now())
+		parked := bs.collections.Announce(meta.Object, meta, bs.clk.Now())
 		for _, p := range parked {
 			bs.collect.AddPacket(meta.Object, p.Idx, p.Data)
 		}
@@ -201,11 +201,11 @@ func (bs *BaseStation) handleWired(pkt transport.Packet) {
 		if err := bs.collect.AddPacket(object.Str(), int(level.Num()), chunk); err != nil {
 			if errors.Is(err, apps.ErrUnknownImage) {
 				// The packet overtook its announce; park it (bounded).
-				bs.collections.Park(object.Str(), int(level.Num()), chunk, time.Now())
+				bs.collections.Park(object.Str(), int(level.Num()), chunk, bs.clk.Now())
 			}
 			return
 		}
-		bs.collections.Touch(object.Str(), time.Now())
+		bs.collections.Touch(object.Str(), bs.clk.Now())
 		bs.maybeDeliver(m.Sender, object.Str(), m.Selector)
 	}
 }
@@ -307,13 +307,13 @@ func (bs *BaseStation) sweepLoop() {
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
+	ticker := bs.clk.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-bs.sweepStop:
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.C():
 			for _, object := range bs.collections.Sweep(now) {
 				bs.collect.Forget(object)
 				if obs.Enabled() {

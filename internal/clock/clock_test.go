@@ -1,0 +1,265 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallBasics(t *testing.T) {
+	if got := Or(nil); got != Wall {
+		t.Fatalf("Or(nil) = %v, want Wall", got)
+	}
+	v := NewVirtual(time.Time{})
+	if got := Or(v); got != Clock(v) {
+		t.Fatalf("Or(v) = %v, want v", got)
+	}
+	before := time.Now()
+	now := Wall.Now()
+	if now.Before(before) {
+		t.Fatalf("Wall.Now went backwards: %v < %v", now, before)
+	}
+	if d := Wall.Since(before); d < 0 {
+		t.Fatalf("Wall.Since negative: %v", d)
+	}
+	tm := Wall.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+	tk := Wall.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall ticker never fired")
+	}
+	tk.Stop()
+	done := make(chan struct{})
+	Wall.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+}
+
+func TestVirtualEpochAndNow(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	if !v.Now().Equal(DefaultEpoch) {
+		t.Fatalf("zero start should read DefaultEpoch, got %v", v.Now())
+	}
+	start := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	v = NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+// Events at the same instant must fire in schedule order, and an event
+// may schedule further events inside the same Advance window.
+func TestVirtualDeterministicOrdering(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	var order []int
+	v.ScheduleFunc(10*time.Millisecond, func(time.Time) { order = append(order, 1) })
+	v.ScheduleFunc(10*time.Millisecond, func(time.Time) { order = append(order, 2) })
+	v.ScheduleFunc(5*time.Millisecond, func(now time.Time) {
+		order = append(order, 0)
+		// Nested event still inside the window: fires between 0 and 1/2? No —
+		// scheduled at now+2ms = 7ms < 10ms, so it fires before the 10ms pair.
+		v.ScheduleFunc(2*time.Millisecond, func(time.Time) { order = append(order, 99) })
+	})
+	fired := v.Advance(20 * time.Millisecond)
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+	want := []int{0, 99, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got := v.Now().Sub(DefaultEpoch); got != 20*time.Millisecond {
+		t.Fatalf("clock should land on the advance target, got +%v", got)
+	}
+}
+
+func TestVirtualEventSeesItsInstant(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	var at time.Time
+	v.ScheduleFunc(7*time.Millisecond, func(now time.Time) { at = now })
+	v.Advance(time.Hour)
+	if want := DefaultEpoch.Add(7 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("event saw %v, want %v", at, want)
+	}
+}
+
+func TestVirtualStopAndStep(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	var fired bool
+	s := v.ScheduleFunc(time.Second, func(time.Time) { fired = true })
+	if !s.Stop() {
+		t.Fatal("Stop on pending event should report true")
+	}
+	if s.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+
+	v.ScheduleFunc(time.Second, func(time.Time) {})
+	v.ScheduleFunc(2*time.Second, func(time.Time) {})
+	if n := v.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	next, ok := v.NextAt()
+	if !ok || !next.Equal(v.Now().Add(time.Second)) {
+		t.Fatalf("NextAt = %v,%v", next, ok)
+	}
+	if !v.Step() || !v.Step() {
+		t.Fatal("Step should fire both pending events")
+	}
+	if v.Step() {
+		t.Fatal("Step on empty heap should report false")
+	}
+}
+
+func TestVirtualTimerAndTicker(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	tm := v.NewTimer(10 * time.Millisecond)
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	v.Advance(5 * time.Millisecond)
+	select {
+	case now := <-tm.C():
+		if want := DefaultEpoch.Add(10 * time.Millisecond); !now.Equal(want) {
+			t.Fatalf("timer delivered %v, want %v", now, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+	if tm.Reset(3 * time.Millisecond) {
+		t.Fatal("Reset after firing should report false")
+	}
+	v.Advance(3 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+
+	tk := v.NewTicker(time.Second)
+	v.Advance(3500 * time.Millisecond)
+	// Depth-1 channel: only the latest undelivered tick is retained.
+	ticks := 0
+	for {
+		select {
+		case <-tk.C():
+			ticks++
+			continue
+		default:
+		}
+		break
+	}
+	if ticks != 1 {
+		t.Fatalf("buffered ticks = %d, want 1 (depth-1 channel)", ticks)
+	}
+	tk.Stop()
+	before := v.Len()
+	v.Advance(10 * time.Second)
+	if v.Len() > before {
+		t.Fatal("stopped ticker kept rescheduling")
+	}
+}
+
+func TestVirtualAfterFuncTicksOnDrive(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	var mu sync.Mutex
+	count := 0
+	v.AfterFunc(time.Second, func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	v.Advance(500 * time.Millisecond)
+	mu.Lock()
+	if count != 0 {
+		mu.Unlock()
+		t.Fatal("AfterFunc fired early")
+	}
+	mu.Unlock()
+	v.Advance(time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("AfterFunc count = %d, want 1", count)
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	v.Sleep(-time.Second) // returns immediately
+	done := make(chan struct{})
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		v.Sleep(time.Second)
+		close(done)
+	}()
+	<-ready
+	// Wait for the sleeper's event to land on the heap before driving.
+	for v.Len() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never woke after Advance past its deadline")
+	}
+}
+
+// Concurrent scheduling against a driving goroutine must be race-clean
+// (run under -race in CI).
+func TestVirtualConcurrentScheduleRace(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := v.ScheduleFunc(time.Duration(i%7)*time.Millisecond, func(time.Time) {})
+				if i%3 == 0 {
+					s.Stop()
+				}
+				v.Now()
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		v.Advance(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	v.Advance(time.Second)
+}

@@ -2,8 +2,8 @@ package core
 
 import (
 	"sync"
-	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/message"
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
@@ -25,6 +25,7 @@ import (
 // profile admits.
 type Coordinator struct {
 	conn transport.Conn
+	clk  clock.Clock
 	sess *session.Session
 
 	env    message.Enveloper
@@ -63,8 +64,15 @@ const (
 // the coordinator does not enforce admission — it archives what the
 // multicast group carries).
 func NewCoordinator(conn transport.Conn, group session.Group) *Coordinator {
+	return NewCoordinatorClock(conn, group, nil)
+}
+
+// NewCoordinatorClock is NewCoordinator with an injected clock (nil =
+// wall) timestamping replies and replay notifications.
+func NewCoordinatorClock(conn transport.Conn, group session.Group, clk clock.Clock) *Coordinator {
 	c := &Coordinator{
 		conn:     conn,
+		clk:      clock.Or(clk),
 		sess:     session.New(group),
 		unwrap:   message.NewUnwrapper(),
 		frames:   make(map[uint64]archivedFrame),
@@ -184,7 +192,7 @@ func (c *Coordinator) notifyLock(to, ctrl, object, holder string) {
 	m := &message.Message{
 		Kind:      message.KindControl,
 		Sender:    c.ID(),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Attrs: selector.Attributes{
 			attrCtrl:   selector.S(ctrl),
 			attrObject: selector.S(object),
@@ -419,7 +427,7 @@ func (c *Client) RequestHistory(coordinator string, afterSeq uint64) error {
 		Kind:      message.KindControl,
 		Sender:    c.ID(),
 		Seq:       c.ctrlSeq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Attrs: selector.Attributes{
 			attrCtrl:     selector.S(ctrlHistoryReq),
 			attrAfterSeq: selector.N(float64(afterSeq)),
@@ -439,7 +447,7 @@ func (c *Client) RequestHistoryFrom(coordinator, sender string, afterSeq uint64)
 		Kind:      message.KindControl,
 		Sender:    c.ID(),
 		Seq:       c.ctrlSeq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Attrs: selector.Attributes{
 			attrCtrl:      selector.S(ctrlHistoryReq),
 			attrForSender: selector.S(sender),

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"adaptiveqos/internal/apps"
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/dispatch"
 	"adaptiveqos/internal/hostagent"
 	"adaptiveqos/internal/inference"
@@ -71,6 +72,12 @@ type Config struct {
 	// frames pass through per-sender order buffers, and a repair loop
 	// NACKs the named coordinator for persistent gaps (DESIGN.md §10).
 	Repair *RepairOptions
+	// Clock schedules and timestamps everything the client does (nil =
+	// wall clock).  A simulation injects a clock.Virtual here and the
+	// whole client — message timestamps, RTP arrival stamps, reorder
+	// holds, RTCP report TTLs, repair backoff, adaptation ticks — runs
+	// on virtual time.
+	Clock clock.Clock
 }
 
 // RepairOptions configures the client's automatic gap-repair loop.
@@ -144,6 +151,7 @@ type Client struct {
 	txMulti dispatch.Deliverer
 	txUni   dispatch.Deliverer
 
+	clk     clock.Clock // injected time source (clock.Wall by default)
 	clock   session.LamportClock
 	rtpSend *rtp.Sender
 	rtpMu   sync.Mutex
@@ -189,6 +197,7 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	c := &Client{
 		cfg:         cfg,
+		clk:         clock.Or(cfg.Clock),
 		conn:        conn,
 		pm:          profile.NewManager(conn.ID()),
 		engine:      inference.New(cfg.Contract),
@@ -197,7 +206,7 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 		viewer:      apps.NewImageViewer(),
 		inbox:       apps.NewMediaInbox(),
 		locks:       newLockTable(),
-		reports:     newReportState(),
+		reports:     newReportState(clock.Or(cfg.Clock)),
 		rtpSend:     rtp.NewSender(fnv32(conn.ID()), 96, 0),
 		rtpRecv:     make(map[string]*rtp.Receiver),
 		pendingData: make(map[string][]pendingPacket),
@@ -208,6 +217,7 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 	}
 	c.unwrap.Node = conn.ID()
 	c.engine.SetOwner(conn.ID())
+	c.engine.SetClock(cfg.Clock)
 	if err := inference.DefaultPolicy(c.engine, cfg.MaxPackets, cfg.SketchBps, cfg.TextBps); err != nil {
 		// The default policy is static; failure means a programming error.
 		panic(fmt.Sprintf("core: default policy: %v", err))
@@ -225,6 +235,7 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 			Interval:     cfg.Repair.Interval,
 			Seed:         cfg.Repair.Seed,
 			Owner:        c.ID(),
+			Clock:        cfg.Clock,
 		}, c.repairRequest, c.repairAbandon)
 		c.rep.Start()
 	}
@@ -301,7 +312,7 @@ func (c *Client) newMessage(kind message.Kind, sel string, attrs selector.Attrib
 		Kind:      kind,
 		Sender:    c.ID(),
 		Seq:       c.seq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Selector:  sel,
 		Attrs:     attrs,
 		Body:      body,
@@ -404,7 +415,7 @@ func (c *Client) ShareImage(object string, obj *media.Object, sel string) error 
 	obs.AppendHop(shareID, c.ID(), obs.StageRTP)
 	rsp := obs.StartStage(shareID, obs.StageRTP)
 	for i, p := range packets {
-		pkt := c.rtpSend.Next(uint32(time.Now().UnixMilli()), i == len(packets)-1, p)
+		pkt := c.rtpSend.Next(uint32(c.clk.Now().UnixMilli()), i == len(packets)-1, p)
 		attrs := selector.Attributes{
 			message.AttrApp:    selector.S(apps.AppImageViewer),
 			message.AttrObject: selector.S(object),
@@ -441,7 +452,7 @@ func (c *Client) AnnounceProfile(to string) error {
 		Kind:      message.KindProfile,
 		Sender:    c.ID(),
 		Seq:       c.ctrlSeq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Attrs:     attrs,
 	}
 	if to == "" {
@@ -546,7 +557,7 @@ func (c *Client) observeDeliverySLO(m *message.Message) {
 	if !slo.Enabled() || m.Timestamp.IsZero() {
 		return
 	}
-	slo.ObserveDelivery(c.ID(), time.Since(m.Timestamp))
+	slo.ObserveDelivery(c.ID(), c.clk.Since(m.Timestamp))
 }
 
 func (c *Client) handleEvent(m *message.Message) {
@@ -614,10 +625,11 @@ func (c *Client) handleData(m *message.Message) {
 	recv, okR := c.rtpRecv[m.Sender]
 	if !okR {
 		recv = rtp.NewReceiver(64)
+		recv.SetClock(c.clk)
 		c.rtpRecv[m.Sender] = recv
 	}
 	c.rtpMu.Unlock()
-	recv.Push(pkt, uint32(time.Now().UnixMilli()))
+	recv.Push(pkt, uint32(c.clk.Now().UnixMilli()))
 
 	if err := c.viewer.AddPacket(object.Str(), int(level.Num()), pkt.Payload); err != nil {
 		if errors.Is(err, apps.ErrUnknownImage) {
@@ -665,6 +677,7 @@ func (c *Client) ingestOrdered(m *message.Message) {
 	so, ok := c.order[m.Sender]
 	if !ok {
 		so = &senderOrder{buf: session.NewOrderBuffer(0), msgs: make(map[uint64]*message.Message)}
+		so.buf.SetClock(c.clk)
 		limit := c.cfg.Repair.MaxPending
 		if limit <= 0 {
 			limit = defaultMaxPending
@@ -946,13 +959,13 @@ func (c *Client) AdaptOnce() (inference.Decision, error) {
 // closed.  Sampling errors are counted and skipped.
 func (c *Client) StartAdaptation(interval time.Duration) {
 	go func() {
-		ticker := time.NewTicker(interval)
+		ticker := c.clk.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-c.done:
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 				if _, err := c.AdaptOnce(); err != nil {
 					c.stats.errors.Add(1)
 				}

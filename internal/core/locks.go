@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"adaptiveqos/internal/message"
 	"adaptiveqos/internal/selector"
@@ -97,7 +96,7 @@ func (c *Client) sendLockControl(coordinator, ctrl, object string) error {
 		Kind:      message.KindControl,
 		Sender:    c.ID(),
 		Seq:       c.ctrlSeq.Add(1),
-		Timestamp: time.Now(),
+		Timestamp: c.clk.Now(),
 		Attrs: selector.Attributes{
 			attrCtrl:   selector.S(ctrl),
 			attrObject: selector.S(object),

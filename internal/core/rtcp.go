@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/inference"
 	"adaptiveqos/internal/message"
 	"adaptiveqos/internal/rtp"
@@ -26,13 +27,15 @@ const (
 // reportState aggregates inbound reception reports about this client's
 // own data streams.
 type reportState struct {
+	clk     clock.Clock
 	mu      sync.Mutex
 	byPeer  map[string]float64 // reporter → last fraction lost
 	expires map[string]time.Time
 }
 
-func newReportState() *reportState {
+func newReportState(clk clock.Clock) *reportState {
 	return &reportState{
+		clk:     clock.Or(clk),
 		byPeer:  make(map[string]float64),
 		expires: make(map[string]time.Time),
 	}
@@ -45,14 +48,14 @@ func (rs *reportState) record(reporter string, fracLost float64) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.byPeer[reporter] = fracLost
-	rs.expires[reporter] = time.Now().Add(reportTTL)
+	rs.expires[reporter] = rs.clk.Now().Add(reportTTL)
 }
 
 // worst returns the highest live loss fraction reported by any peer.
 func (rs *reportState) worst() float64 {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	now := time.Now()
+	now := rs.clk.Now()
 	var worst float64
 	for peer, f := range rs.byPeer {
 		if now.After(rs.expires[peer]) {
@@ -87,7 +90,7 @@ func (c *Client) SendReceptionReports() error {
 			Kind:      message.KindControl,
 			Sender:    c.ID(),
 			Seq:       c.ctrlSeq.Add(1),
-			Timestamp: time.Now(),
+			Timestamp: c.clk.Now(),
 			Attrs: selector.Attributes{
 				attrCtrl:     selector.S(ctrlRTCPReport),
 				attrSubject:  selector.S(r.subject),

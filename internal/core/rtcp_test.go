@@ -108,7 +108,7 @@ func TestSenderAdaptationCanBeDisabled(t *testing.T) {
 
 // TestReportStateExpiry: stale reports stop throttling the sender.
 func TestReportStateExpiry(t *testing.T) {
-	rs := newReportState()
+	rs := newReportState(nil)
 	rs.record("p", 0.8)
 	if rs.worst() != 0.8 {
 		t.Fatalf("worst = %g", rs.worst())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/snmp"
 )
 
@@ -16,8 +17,9 @@ type RateSampler struct {
 	// OID is the counter instance (e.g. OIDIfInOctets(1)).
 	OID snmp.OID
 
-	// now allows tests to control time; nil means time.Now.
-	now func() time.Time
+	// Clock times the polls (tests and simulations inject one); nil
+	// means the wall clock.
+	Clock clock.Clock
 
 	started   bool
 	lastValue float64
@@ -29,15 +31,11 @@ type RateSampler struct {
 // reports ok=false.  A counter that moved backwards (agent restart or
 // 32-bit wrap) re-primes rather than reporting a negative rate.
 func (r *RateSampler) SampleBps() (bps float64, ok bool, err error) {
-	clock := r.now
-	if clock == nil {
-		clock = time.Now
-	}
 	v, err := r.Client.GetNumber(r.OID)
 	if err != nil {
 		return 0, false, fmt.Errorf("hostagent: rate sample: %w", err)
 	}
-	now := clock()
+	now := clock.Or(r.Clock).Now()
 	defer func() {
 		r.lastValue = v
 		r.lastAt = now

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/snmp"
 )
 
@@ -18,11 +19,11 @@ func TestRateSampler(t *testing.T) {
 	}
 	client := snmp.NewClient(&snmp.AgentRoundTripper{Agent: agent}, snmp.V2c, "")
 
-	fake := time.Unix(1000, 0)
+	vc := clock.NewVirtual(time.Unix(1000, 0))
 	s := &RateSampler{
 		Client: client,
 		OID:    OIDIfInOctets(1),
-		now:    func() time.Time { return fake },
+		Clock:  vc,
 	}
 
 	// First call primes.
@@ -32,7 +33,7 @@ func TestRateSampler(t *testing.T) {
 
 	// 1000 bytes over 2 seconds = 4000 bit/s.
 	octets.Add(1000)
-	fake = fake.Add(2 * time.Second)
+	vc.Advance(2 * time.Second)
 	bps, ok, err := s.SampleBps()
 	if err != nil || !ok {
 		t.Fatalf("sample: ok=%v err=%v", ok, err)
@@ -48,12 +49,12 @@ func TestRateSampler(t *testing.T) {
 
 	// Counter restart (moves backwards): re-prime, no negative rate.
 	octets.Store(10)
-	fake = fake.Add(time.Second)
+	vc.Advance(time.Second)
 	if _, ok, _ := s.SampleBps(); ok {
 		t.Error("backwards counter reported ok")
 	}
 	octets.Store(510) // 500 bytes over 1s = 4000 bps again
-	fake = fake.Add(time.Second)
+	vc.Advance(time.Second)
 	bps, ok, _ = s.SampleBps()
 	if !ok || bps != 4000 {
 		t.Errorf("post-restart bps = %g ok=%v", bps, ok)

@@ -19,8 +19,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/media"
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
@@ -91,6 +91,7 @@ type Engine struct {
 	order    []int // insertion sequence parallel to rules
 	contract *profile.Contract
 	owner    string
+	clk      clock.Clock // stamps audit entries; nil = wall
 }
 
 // New creates an engine bound to a QoS contract (nil means an empty,
@@ -110,6 +111,13 @@ func (e *Engine) Contract() *profile.Contract { return e.contract }
 func (e *Engine) SetOwner(name string) {
 	e.mu.Lock()
 	e.owner = name
+	e.mu.Unlock()
+}
+
+// SetClock pins audit timestamps to c (nil restores wall time).
+func (e *Engine) SetClock(c clock.Clock) {
+	e.mu.Lock()
+	e.clk = c
 	e.mu.Unlock()
 }
 
@@ -167,6 +175,7 @@ func (e *Engine) Decide(state selector.Attributes) Decision {
 	e.mu.RLock()
 	rules := e.rules
 	owner := e.owner
+	clk := e.clk
 	e.mu.RUnlock()
 
 	d := Decision{PacketBudget: Unlimited, Contract: e.contract.Evaluate(state)}
@@ -179,7 +188,7 @@ func (e *Engine) Decide(state selector.Attributes) Decision {
 		r.fired.Inc()
 	}
 	if obs.Enabled() {
-		at := time.Now().UnixNano()
+		at := clock.Or(clk).Now().UnixNano()
 		recordAudit(AuditEntry{
 			At:         at,
 			Client:     owner,

@@ -50,7 +50,7 @@ func (c *Collector) SampleOnce() {
 	c.mu.Unlock()
 	set := SetGauge
 	if r := rec.Load(); r != nil {
-		at := time.Now().UnixNano()
+		at := nowNS()
 		set = func(name string, value float64) {
 			SetGauge(name, value)
 			r.Append(RecEvent{Type: RecTypeQoS, AtNS: at, Name: name, Value: value})
@@ -73,13 +73,13 @@ func (c *Collector) Start() {
 	c.done = make(chan struct{})
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		ticker := time.NewTicker(c.interval)
+		ticker := clockOrWall().NewTicker(c.interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 				c.SampleOnce()
 			}
 		}

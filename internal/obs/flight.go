@@ -6,7 +6,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"adaptiveqos/internal/metrics"
 )
@@ -128,7 +127,7 @@ func AppendHop(id uint64, node string, stage Stage) {
 	if !traceOn.Load() || id == 0 {
 		return
 	}
-	now := time.Now().UnixNano()
+	now := nowNS()
 	flights.mu.Lock()
 	e := flights.getOrCreateLocked(id, now)
 	if len(e.hops) >= maxTraceHops {
@@ -165,7 +164,7 @@ func MergeHops(id uint64, hops []Hop) {
 	if !traceOn.Load() || id == 0 || len(hops) == 0 {
 		return
 	}
-	now := time.Now().UnixNano()
+	now := nowNS()
 	anchor := now - int64(hops[len(hops)-1].DeltaUS)*1000
 	flights.mu.Lock()
 	e := flights.getOrCreateLocked(id, anchor)

@@ -30,7 +30,6 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"adaptiveqos/internal/metrics"
 )
@@ -129,7 +128,7 @@ func NewRecorder(w io.Writer, node string, depth int) *Recorder {
 		Schema:  RecordSchema,
 		Version: RecordVersion,
 		Node:    node,
-		StartNS: time.Now().UnixNano(),
+		StartNS: nowNS(),
 	}
 	enc := json.NewEncoder(r.w)
 	if err := enc.Encode(hdr); err != nil {

@@ -1,7 +1,5 @@
 package obs
 
-import "time"
-
 // Stage identifies one pipeline stage of a message's journey from
 // publisher to client delivery.  The set mirrors the delivery path:
 // publish → dispatch-queue wait → selector match → capability
@@ -84,7 +82,7 @@ func StartStage(id uint64, s Stage) Span {
 	if !enabled.Load() {
 		return Span{}
 	}
-	return Span{start: time.Now().UnixNano(), id: id, stage: s}
+	return Span{start: nowNS(), id: id, stage: s}
 }
 
 // Active reports whether the span is recording.  Call sites use it to
@@ -100,7 +98,7 @@ func (sp Span) End() {
 	if sp.start == 0 {
 		return
 	}
-	d := time.Now().UnixNano() - sp.start
+	d := nowNS() - sp.start
 	stageHists[sp.stage].Observe(d)
 	if r := rec.Load(); r != nil {
 		r.Append(RecEvent{Type: RecTypeSpan, AtNS: sp.start,
@@ -114,7 +112,7 @@ func (sp Span) EndErr(detail string) {
 	if sp.start == 0 {
 		return
 	}
-	d := time.Now().UnixNano() - sp.start
+	d := nowNS() - sp.start
 	stageHists[sp.stage].Observe(d)
 	events.add(Event{
 		At:     sp.start,
@@ -137,7 +135,7 @@ func Drop(id uint64, s Stage, detail string) {
 	if !enabled.Load() {
 		return
 	}
-	at := time.Now().UnixNano()
+	at := nowNS()
 	events.add(Event{
 		At:     at,
 		MsgID:  id,
@@ -157,7 +155,7 @@ func Note(id uint64, s Stage, detail string) {
 	if !enabled.Load() {
 		return
 	}
-	at := time.Now().UnixNano()
+	at := nowNS()
 	events.add(Event{
 		At:     at,
 		MsgID:  id,

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/slo"
@@ -71,6 +72,9 @@ type Config struct {
 	// convergence latencies are attributed to it in the SLO engine
 	// (empty = unattributed, SLO feed skipped).
 	Owner string
+	// Clock drives the Start loop's ticker (nil = wall clock).  Poll
+	// itself takes explicit times and stays clock-free.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -183,13 +187,13 @@ func (e *Engine) Start() {
 	e.startOnce.Do(func() {
 		go func() {
 			defer close(e.loopDone)
-			ticker := time.NewTicker(e.cfg.Interval)
+			ticker := clock.Or(e.cfg.Clock).NewTicker(e.cfg.Interval)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-e.done:
 					return
-				case now := <-ticker.C:
+				case now := <-ticker.C():
 					e.Poll(now)
 				}
 			}

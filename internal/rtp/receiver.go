@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/obs"
 )
 
@@ -56,6 +56,9 @@ type Receiver struct {
 	// a unique (recovered) packet rather than a duplicate.  Bounded by
 	// maxLostTracked.
 	lostSeqs map[uint16]struct{}
+
+	// clk stamps held; nil means wall time (virtual under simulation).
+	clk clock.Clock
 }
 
 // maxLostTracked bounds the declared-lost set; past it the oldest
@@ -70,6 +73,13 @@ func NewReceiver(window int) *Receiver {
 		window = 1
 	}
 	return &Receiver{window: window, buf: make(map[uint16]Packet)}
+}
+
+// SetClock pins reorder-hold timestamps to c (nil restores wall time).
+func (r *Receiver) SetClock(c clock.Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clk = c
 }
 
 // Push ingests a packet and returns the packets now deliverable in
@@ -112,7 +122,7 @@ func (r *Receiver) Push(p Packet, arrival uint32) []Packet {
 		if r.held == nil {
 			r.held = make(map[uint16]int64)
 		}
-		r.held[p.Seq] = time.Now().UnixNano()
+		r.held[p.Seq] = clock.Or(r.clk).Now().UnixNano()
 	}
 
 	var out []Packet
@@ -164,7 +174,7 @@ func (r *Receiver) observeReleaseLocked(seq uint16) {
 		return
 	}
 	if t, ok := r.held[seq]; ok {
-		obs.StageHistogram(obs.StageReorder).Observe(time.Now().UnixNano() - t)
+		obs.StageHistogram(obs.StageReorder).Observe(clock.Or(r.clk).Now().UnixNano() - t)
 		delete(r.held, seq)
 	}
 }

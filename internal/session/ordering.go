@@ -3,8 +3,8 @@ package session
 import (
 	"fmt"
 	"sync"
-	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/obs"
 )
 
@@ -26,10 +26,15 @@ type OrderBuffer struct {
 	overflow uint64
 	onEvict  func(Event)
 
-	// held stamps parked events' arrival (UnixNano) while
+	// held stamps parked events' arrival (UnixNano on clk) while
 	// instrumentation is on; releases feed the pipeline reorder-stage
 	// histogram so gap-induced session stalls are visible.
 	held map[uint64]int64
+
+	// clk stamps held; nil means wall time.  Under a virtual clock the
+	// reorder-latency histogram measures simulated stall time, not the
+	// (meaningless) wall time of the driving loop.
+	clk clock.Clock
 }
 
 // NewOrderBuffer creates a buffer expecting sequence numbers starting
@@ -37,6 +42,13 @@ type OrderBuffer struct {
 // fresh session).
 func NewOrderBuffer(afterSeq uint64) *OrderBuffer {
 	return &OrderBuffer{next: afterSeq + 1, pending: make(map[uint64]Event)}
+}
+
+// SetClock pins held-event timestamps to c (nil restores wall time).
+func (b *OrderBuffer) SetClock(c clock.Clock) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clk = c
 }
 
 // SetLimit bounds the parked-event count to n (0 = unlimited).  When a
@@ -99,7 +111,7 @@ func (b *OrderBuffer) Push(ev Event) []Event {
 		if b.held == nil {
 			b.held = make(map[uint64]int64)
 		}
-		b.held[ev.Seq] = time.Now().UnixNano()
+		b.held[ev.Seq] = clock.Or(b.clk).Now().UnixNano()
 	}
 	return b.releaseLocked()
 }
@@ -115,7 +127,7 @@ func (b *OrderBuffer) releaseLocked() []Event {
 		delete(b.pending, b.next)
 		if b.held != nil {
 			if t, ok := b.held[b.next]; ok {
-				obs.StageHistogram(obs.StageReorder).Observe(time.Now().UnixNano() - t)
+				obs.StageHistogram(obs.StageReorder).Observe(clock.Or(b.clk).Now().UnixNano() - t)
 				delete(b.held, b.next)
 			}
 		}

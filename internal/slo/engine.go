@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
 )
@@ -94,8 +95,25 @@ type Engine struct {
 	transitions []Transition
 	sources     []RadioSource
 
+	// clk times Register/Observe and the Run loop; nil means wall.
+	clk clock.Clock
+
+	// Poll idempotence: on a virtual clock many drive iterations can
+	// land on the same instant; re-evaluating the state machine at an
+	// unchanged time is pure waste, so Poll short-circuits it.
+	polled     bool
+	lastPollNS int64
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// SetClock pins the engine's timestamps and Run ticker to c (nil
+// restores wall time).  Call before Run.
+func (e *Engine) SetClock(c clock.Clock) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clk = c
 }
 
 // NewEngine creates an engine whose unregistered clients get spec
@@ -120,7 +138,7 @@ func (e *Engine) SetDefaultSpec(spec Spec) {
 func (e *Engine) Register(client string, spec Spec) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.clients[client] = newClientState(spec, time.Now().UnixNano())
+	e.clients[client] = newClientState(spec, clock.Or(e.clk).Now().UnixNano())
 }
 
 // RegisterRadioSource adds a radio-snapshot provider consulted when a
@@ -154,7 +172,7 @@ func newClientState(spec Spec, nowNS int64) *clientState {
 // spec.  Classification against the spec target happens here; the
 // window ring stores only counts.
 func (e *Engine) Observe(client string, o Objective, v float64) {
-	e.observeAt(client, o, v, time.Now().UnixNano())
+	e.observeAt(client, o, v, clock.Or(e.clk).Now().UnixNano())
 }
 
 func (e *Engine) observeAt(client string, o Objective, v float64, nowNS int64) {
@@ -173,11 +191,17 @@ func (e *Engine) observeAt(client string, o Objective, v float64, nowNS int64) {
 
 // Poll evaluates every client's windows at now and advances the
 // conformance state machine.  Deterministic: tests drive it with
-// synthetic clocks.
+// synthetic clocks.  Idempotent per instant: a repeat Poll at exactly
+// the time of the previous one (common when a virtual clock hasn't
+// advanced between drive iterations) is a no-op.
 func (e *Engine) Poll(now time.Time) {
 	nowNS := now.UnixNano()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.polled && nowNS == e.lastPollNS {
+		return
+	}
+	e.polled, e.lastPollNS = true, nowNS
 	for client, cs := range e.clients {
 		e.pollClient(client, cs, nowNS)
 	}
@@ -360,16 +384,17 @@ func (e *Engine) Run(interval time.Duration) {
 	}
 	e.stop = make(chan struct{})
 	e.done = make(chan struct{})
+	clk := clock.Or(e.clk)
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		ticker := time.NewTicker(interval)
+		ticker := clk.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
-				e.Poll(time.Now())
+			case <-ticker.C():
+				e.Poll(clk.Now())
 			}
 		}
 	}(e.stop, e.done)

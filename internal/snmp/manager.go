@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adaptiveqos/internal/clock"
 )
 
 // RoundTripper transports one encoded SNMP request frame and returns
@@ -217,6 +219,9 @@ type UDPRoundTripper struct {
 	Timeout time.Duration
 	// Retries is the number of additional attempts (default 2).
 	Retries int
+	// Clock anchors read deadlines (nil = wall clock; real sockets only
+	// make sense on wall time, but the seam keeps deadline math uniform).
+	Clock clock.Clock
 
 	mu   sync.Mutex
 	conn *net.UDPConn
@@ -273,7 +278,7 @@ func (t *UDPRoundTripper) RoundTrip(request []byte) ([]byte, error) {
 			lastErr = err
 			continue
 		}
-		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		if err := conn.SetReadDeadline(clock.Or(t.Clock).Now().Add(timeout)); err != nil {
 			return nil, err
 		}
 		n, err := conn.Read(buf)

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"adaptiveqos/internal/clock"
 )
 
 // Link describes the characteristics of a directed link in the
@@ -36,6 +38,7 @@ type Link struct {
 type SimNet struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
+	clk        clock.Clock
 	nodes      map[string]*simConn
 	links      map[linkKey]Link
 	linkBusy   map[linkKey]time.Time // real-time instants links free up
@@ -62,6 +65,10 @@ type SimNetConfig struct {
 	MTU int
 	// InboxDepth is each node's receive buffer; 0 means 1024.
 	InboxDepth int
+	// Clock schedules deliveries and stamps arrivals (nil = wall
+	// clock).  For fully deterministic virtual-time simulation prefer
+	// DESNet, which owns its clock and delivers on the event heap.
+	Clock clock.Clock
 }
 
 // NewSimNet creates an empty simulated network.
@@ -84,6 +91,7 @@ func NewSimNet(cfg SimNetConfig) *SimNet {
 	}
 	return &SimNet{
 		rng:        rand.New(rand.NewSource(seed)),
+		clk:        clock.Or(cfg.Clock),
 		nodes:      make(map[string]*simConn),
 		links:      make(map[linkKey]Link),
 		linkBusy:   make(map[linkKey]time.Time),
@@ -206,54 +214,35 @@ func (n *SimNet) send(src *simConn, dstID string, frame []byte, unicast bool) {
 		return
 	}
 	l := n.linkLocked(src.id, dstID)
-	if l.Down || (l.Loss > 0 && n.rng.Float64() < l.Loss) {
+	key := linkKey{src.id, dstID}
+	now := n.clk.Now()
+	plan := planLink(l, len(frame), n.rng, n.linkBusy[key], now, n.timeScale)
+	if l.BandwidthBps > 0 {
+		n.linkBusy[key] = plan.busy
+	}
+	if plan.drop {
 		dst.mu.Lock()
 		dst.stats.Dropped++
 		dst.mu.Unlock()
 		n.mu.Unlock()
 		return
 	}
-	copies := 1
-	if l.Duplicate > 0 && n.rng.Float64() < l.Duplicate {
-		copies = 2
-	}
-	// Work in scaled real time: simulated durations divided by TimeScale.
-	simDelay := l.Delay
-	if l.Jitter > 0 {
-		simDelay += time.Duration(n.rng.Int63n(int64(l.Jitter) + 1))
-	}
-	scaled := time.Duration(float64(simDelay) / n.timeScale)
-	if l.BandwidthBps > 0 {
-		ser := time.Duration(float64(len(frame)*8) / l.BandwidthBps * float64(time.Second))
-		scaledSer := time.Duration(float64(ser) / n.timeScale)
-		// Serialization occupies the link: back-to-back sends queue
-		// behind the instant the link frees up.
-		key := linkKey{src.id, dstID}
-		now := time.Now()
-		busy := n.linkBusy[key]
-		if busy.Before(now) {
-			busy = now
-		}
-		busy = busy.Add(scaledSer)
-		n.linkBusy[key] = busy
-		scaled += busy.Sub(now)
-	}
-	n.wg.Add(copies)
+	n.wg.Add(plan.copies)
 	n.mu.Unlock()
 
 	data := append([]byte(nil), frame...)
 	deliver := func() {
 		defer n.wg.Done()
-		dst.deliver(Packet{From: src.id, Data: data, Unicast: unicast, At: time.Now()})
+		dst.deliver(Packet{From: src.id, Data: data, Unicast: unicast, At: n.clk.Now()})
 	}
-	for i := 0; i < copies; i++ {
-		if scaled <= 0 {
+	for i := 0; i < plan.copies; i++ {
+		if plan.delay <= 0 {
 			// Zero-delay links deliver synchronously, preserving
 			// per-sender FIFO order like a real loopback; inboxes are
 			// non-blocking so this cannot deadlock.
 			deliver()
 		} else {
-			time.AfterFunc(scaled, deliver)
+			n.clk.AfterFunc(plan.delay, deliver)
 		}
 	}
 }
