@@ -105,6 +105,20 @@ if [ -n "$viol" ]; then
 	exit 1
 fi
 
+# Clock-seam purity: raw time.Now() in production code bypasses the
+# injected clock and silently de-synchronizes recorded sessions from
+# replay.  Only internal/clock itself and the documented obs wall
+# default (internal/obs/clock.go nowNS) may read the wall directly;
+# tests are exempt.
+viol=$(grep -rn --include='*.go' 'time\.Now()' internal/ cmd/ \
+	| grep -v '^internal/clock/' | grep -v '^internal/obs/clock\.go:' \
+	| grep -v '_test\.go' || true)
+if [ -n "$viol" ]; then
+	echo "CLOCK-SEAM VIOLATION: raw time.Now() outside internal/clock (route through an injected clock.Clock):" >&2
+	echo "$viol" >&2
+	exit 1
+fi
+
 # Determinism gate: the same seeded 1k-client scenario run twice must
 # produce byte-identical event logs and metric snapshots, race-clean.
 go test -race -count=1 -run 'TestScenarioDeterminism1k|TestScenarioAllKindsDeterministic|TestScenarioSeedSensitivity' ./internal/scenario/
@@ -121,3 +135,34 @@ if [ $((t1 - t0)) -gt 30 ]; then
 	echo "SCALE REGRESSION: 10k-client simulated minute took $((t1 - t0))s (budget 30s)" >&2
 	exit 1
 fi
+
+# Counterfactual-replay gates (DESIGN.md §15): workload extraction,
+# the per-policy rerun and the full-grid sweep must be race-clean and
+# byte-deterministic, with -count=1 so cached results never mask a
+# fresh nondeterminism (map-order iteration, unseeded rng).
+go test -race -count=1 ./internal/replay/
+
+# Replay smoke: the full 30-candidate grid over the checked-in
+# recorded 35%-loss collab session must finish within 10s of wall
+# clock (it takes ~2s; the margin absorbs slow CI boxes) and must rank
+# a repair-enabled policy first.
+go build -o /tmp/qosreplay-ci ./cmd/qosreplay
+t0=$(date +%s)
+best=$(/tmp/qosreplay-ci -in internal/replay/testdata/collab-loss35.jsonl -top 1 | awk '$1 == 1 { print }')
+t1=$(date +%s)
+rm -f /tmp/qosreplay-ci
+if [ $((t1 - t0)) -gt 10 ]; then
+	echo "REPLAY REGRESSION: 30-candidate grid sweep took $((t1 - t0))s (budget 10s)" >&2
+	exit 1
+fi
+case "$best" in
+*repair=off*)
+	echo "REPLAY RANKING REGRESSION: repair-off policy won on the 35%-loss session:" >&2
+	echo "$best" >&2
+	exit 1
+	;;
+"")
+	echo "REPLAY SMOKE: no ranked rows in qosreplay output" >&2
+	exit 1
+	;;
+esac

@@ -284,8 +284,8 @@ func main() {
 		// Let the SLO windows drain post-traffic so violated clients can
 		// walk to recovered before the summary (bounded wait: a client
 		// pinned down by unrepaired loss stays violated, honestly).
-		deadline := time.Now().Add(4 * time.Second)
-		for time.Now().Before(deadline) {
+		deadline := clock.Wall.Now().Add(4 * time.Second)
+		for clock.Wall.Now().Before(deadline) {
 			if collector != nil {
 				collector.SampleOnce()
 			}
@@ -356,7 +356,7 @@ func main() {
 	}
 
 	if sloEng != nil {
-		sloEng.Poll(time.Now())
+		sloEng.Poll(clock.Wall.Now())
 		fmt.Println("\n--- slo conformance ---")
 		sloEng.WriteSummary(os.Stdout, "")
 	}
@@ -385,7 +385,7 @@ func main() {
 		fmt.Printf("%s: schema %s v%d, node %s, truncated=%v\n",
 			*recordPath, sess.Header.Schema, sess.Header.Version, sess.Header.Node, sess.Truncated)
 		counts := sess.CountByType()
-		for _, typ := range []string{obs.RecTypeSpan, obs.RecTypeQoS, obs.RecTypeDecision, obs.RecTypeSLO, obs.RecTypeNote} {
+		for _, typ := range []string{obs.RecTypeSpan, obs.RecTypeQoS, obs.RecTypeDecision, obs.RecTypeSLO, obs.RecTypeNote, obs.RecTypePublish} {
 			if counts[typ] > 0 {
 				fmt.Printf("  %-8s %d\n", typ, counts[typ])
 			}

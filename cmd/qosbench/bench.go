@@ -16,6 +16,7 @@ import (
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
 	"adaptiveqos/internal/registry"
+	"adaptiveqos/internal/replay"
 	"adaptiveqos/internal/scenario"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/slo"
@@ -150,6 +151,7 @@ func microBenches() []struct {
 		}},
 		{"sim-10k", func(b *testing.B) { benchScenario(b, 10_000) }},
 		{"sim-100k", func(b *testing.B) { benchScenario(b, 100_000) }},
+		{"replay-grid", benchReplayGrid},
 		{"record-append", func(b *testing.B) {
 			// One session-record event offered to the bounded writer
 			// (JSONL encoding happens on the drain goroutine).
@@ -162,6 +164,48 @@ func microBenches() []struct {
 				r.Append(ev)
 			}
 		}},
+	}
+}
+
+// benchReplayGrid measures one op = a full counterfactual policy sweep
+// (DESIGN.md §15): a 2-sender, 3-second lossy workload replayed through
+// the DESNet once per candidate in an 8-policy grid, scored and ranked.
+// This is the end-to-end cost a qosreplay user pays per 8 candidates.
+func benchReplayGrid(b *testing.B) {
+	w := &replay.Workload{
+		StartNS:   1_000_000_000,
+		Senders:   []string{"alice", "bob"},
+		Receivers: []string{"alice", "bob", "carol"},
+		MeanLoss:  0.35,
+	}
+	seq := map[string]uint64{}
+	for i := 0; i < 120; i++ {
+		at := w.StartNS + int64(i)*25_000_000
+		for _, sender := range w.Senders {
+			seq[sender]++
+			w.Publishes = append(w.Publishes, replay.Publish{
+				AtNS: at, Sender: sender, Seq: seq[sender],
+				Kind: "event", Size: 128,
+			})
+		}
+		w.EndNS = at + 2_000_000
+	}
+	for i := 0; i < 30; i++ {
+		w.SIR = append(w.SIR, replay.SIRSample{
+			AtNS: w.StartNS + int64(i)*100_000_000, Client: "w0",
+			SIRdB: []float64{-2, 1, 3, 5, 7}[i%5],
+		})
+	}
+	grid := replay.DefaultGrid()[:8]
+	cfg := replay.SimConfig{Seed: 1, Loss: -1}
+	spec := slo.SpecForClass("interactive")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := replay.Sweep(w, grid, cfg, spec)
+		if len(ranked) != len(grid) {
+			b.Fatal("sweep dropped candidates")
+		}
 	}
 }
 

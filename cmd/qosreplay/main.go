@@ -1,0 +1,96 @@
+// Command qosreplay reruns a recorded collaboration session against a
+// grid of counterfactual QoS policies (DESIGN.md §15).
+//
+// It loads a v1 JSONL session record (the -record output of
+// cmd/collab), reconstructs the publish workload and observed link
+// conditions, re-simulates the session on a virtual clock for every
+// candidate policy — repair knobs × inference rule parameters × radio
+// tier thresholds — and prints the candidates ranked by fitness: the
+// live SLO engine's burn-rate normalization over delivery, loss,
+// repair convergence and tier residency, plus byte and battery terms.
+// The rerun is fully deterministic: the same record, grid and seed
+// always print the same ranking.
+//
+//	qosreplay -in session.jsonl                 # default 30-policy grid
+//	qosreplay -in session.jsonl -json           # full machine-readable ranking
+//	qosreplay -in session.jsonl -grid grid.json # custom candidates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/replay"
+	"adaptiveqos/internal/slo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qosreplay: ")
+
+	in := flag.String("in", "", "JSONL session record to replay (required)")
+	gridPath := flag.String("grid", "", "JSON policy grid (default: the built-in 30-candidate sweep)")
+	jsonOut := flag.Bool("json", false, "emit the full ranking as JSON instead of the text table")
+	top := flag.Int("top", 0, "limit the text table to the best N candidates (0 = all)")
+	seed := flag.Int64("seed", 1, "replay seed (loss and jitter draws, repair backoff jitter)")
+	delay := flag.Duration("delay", 5*time.Millisecond, "one-way link delay in the replayed network")
+	jitter := flag.Duration("jitter", 0, "uniform extra link delay in [0, jitter]")
+	loss := flag.Float64("loss", -1, "per-frame loss probability (negative = the record's observed mean)")
+	class := flag.String("class", "interactive", "SLO contract class scoring the candidates (realtime|interactive|bulk)")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	session, err := obs.LoadSessionFile(*in)
+	if err != nil {
+		log.Fatalf("load %s: %v", *in, err)
+	}
+	w, err := replay.ExtractWorkload(session)
+	if err != nil {
+		log.Fatalf("extract workload: %v", err)
+	}
+
+	grid := replay.DefaultGrid()
+	if *gridPath != "" {
+		f, err := os.Open(*gridPath)
+		if err != nil {
+			log.Fatalf("open grid: %v", err)
+		}
+		grid, err = replay.LoadGrid(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load grid: %v", err)
+		}
+	}
+
+	cfg := replay.SimConfig{Seed: *seed, Delay: *delay, Jitter: *jitter, Loss: *loss}
+	ranked := replay.Sweep(w, grid, cfg, slo.SpecForClass(*class))
+
+	if *jsonOut {
+		if err := replay.WriteJSON(os.Stdout, ranked); err != nil {
+			log.Fatalf("write json: %v", err)
+		}
+		return
+	}
+	fmt.Println(w.String())
+	if w.Truncated {
+		fmt.Println("note: record tail was truncated (crash mid-write); replaying the clean prefix")
+	}
+	fmt.Printf("sweeping %d candidate polic%s (seed %d, class %s)\n\n",
+		len(grid), plural(len(grid), "y", "ies"), *seed, *class)
+	replay.WriteTable(os.Stdout, ranked, *top)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

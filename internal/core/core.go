@@ -62,6 +62,10 @@ type Config struct {
 	// SketchBps and TextBps are the default policy's bandwidth tiers
 	// (defaults 64 kbit/s and 16 kbit/s).
 	SketchBps, TextBps float64
+	// Policy overrides the full default-policy parameter set (nil =
+	// derived from MaxPackets/SketchBps/TextBps).  The replay harness
+	// injects swept candidates here instead of editing constants.
+	Policy *inference.Params
 	// MTU bounds each wire datagram; larger message frames are
 	// fragmented transparently (default 8 KiB).
 	MTU int
@@ -218,7 +222,13 @@ func NewClient(conn transport.Conn, cfg Config) *Client {
 	c.unwrap.Node = conn.ID()
 	c.engine.SetOwner(conn.ID())
 	c.engine.SetClock(cfg.Clock)
-	if err := inference.DefaultPolicy(c.engine, cfg.MaxPackets, cfg.SketchBps, cfg.TextBps); err != nil {
+	pol := inference.Params{
+		MaxPackets: cfg.MaxPackets, SketchBps: cfg.SketchBps, TextBps: cfg.TextBps,
+	}
+	if cfg.Policy != nil {
+		pol = *cfg.Policy
+	}
+	if err := inference.InstallPolicy(c.engine, pol); err != nil {
 		// The default policy is static; failure means a programming error.
 		panic(fmt.Sprintf("core: default policy: %v", err))
 	}
@@ -320,6 +330,16 @@ func (c *Client) newMessage(kind message.Kind, sel string, attrs selector.Attrib
 }
 
 func (c *Client) multicast(m *message.Message) error {
+	// Session records carry the publish workload (sender, sequence,
+	// payload size, virtual-ns instant) so counterfactual replay can
+	// reconstruct and re-drive it (DESIGN.md §15).  Event and data
+	// frames consume the gapless per-sender sequence; control traffic
+	// is not workload.
+	if obs.Recording() && (m.Kind == message.KindEvent || m.Kind == message.KindData) {
+		obs.RecordPublish(m.Timestamp.UnixNano(), m.Sender, uint64(m.Seq),
+			m.Kind.String(), m.Attrs[message.AttrMedia].Str(),
+			int(m.Attrs[message.AttrLevel].Num()), len(m.Body))
+	}
 	return c.txMulti.Deliver("", m)
 }
 

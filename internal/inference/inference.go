@@ -215,16 +215,73 @@ func (e *Engine) Decide(state selector.Attributes) Decision {
 
 // --- The paper's adaptation mappings (Figs 6 and 7) ---
 
-// PacketsFromPageFaults maps the observed page-fault rate to an image
-// packet budget, reproducing the paper's Fig 6 policy: 16 packets at
-// ≤30 faults, halving in powers of two down to 1 packet at ≥100
-// faults.  maxPackets generalizes the paper's 16.
-func PacketsFromPageFaults(pageFaults float64, maxPackets int) int {
-	if maxPackets < 1 {
-		maxPackets = 16
+// Params parameterizes the standard policy's adaptation mappings.  The
+// seed hard-coded the paper's numbers (budget breakpoints at 30 and
+// 100, bandwidth tiers at 64/16 kbit/s); making them an injectable
+// struct lets the counterfactual replay harness (DESIGN.md §15) sweep
+// candidate policies against a recorded session instead of rebuilding
+// the engine around new constants.  Zero-valued fields take the
+// paper's defaults, so Params{} behaves exactly like the seed.
+type Params struct {
+	// MaxPackets is the budget ceiling every mapping tops out at
+	// (default 16, the paper's image packet count).
+	MaxPackets int `json:"max_packets,omitempty"`
+	// PageFaultLo/Hi bound the Fig 6 mapping: full budget at or below
+	// Lo faults, one packet at or above Hi (defaults 30 and 100).
+	PageFaultLo float64 `json:"page_fault_lo,omitempty"`
+	PageFaultHi float64 `json:"page_fault_hi,omitempty"`
+	// CPULoadLo/Hi bound the Fig 7 mapping: full budget at or below Lo
+	// percent, zero packets at or above Hi (defaults 30 and 100).
+	CPULoadLo float64 `json:"cpu_load_lo,omitempty"`
+	CPULoadHi float64 `json:"cpu_load_hi,omitempty"`
+	// SketchBps and TextBps are the bandwidth thresholds degrading the
+	// delivery modality to sketch and text (defaults 64000 and 16000).
+	SketchBps float64 `json:"sketch_bps,omitempty"`
+	TextBps   float64 `json:"text_bps,omitempty"`
+	// HeavyLossSketch is the observed-loss fraction above which image
+	// modality degrades to sketch (default 0.5).
+	HeavyLossSketch float64 `json:"heavy_loss_sketch,omitempty"`
+}
+
+// DefaultParams returns the paper's standard policy parameters.
+func DefaultParams() Params { return Params{}.WithDefaults() }
+
+// WithDefaults fills zero-valued fields with the paper's numbers.
+func (p Params) WithDefaults() Params {
+	if p.MaxPackets < 1 {
+		p.MaxPackets = 16
 	}
-	maxExp := int(math.Round(math.Log2(float64(maxPackets))))
-	const lo, hi = 30.0, 100.0
+	if p.PageFaultLo <= 0 {
+		p.PageFaultLo = 30
+	}
+	if p.PageFaultHi <= p.PageFaultLo {
+		p.PageFaultHi = p.PageFaultLo + 70
+	}
+	if p.CPULoadLo <= 0 {
+		p.CPULoadLo = 30
+	}
+	if p.CPULoadHi <= p.CPULoadLo {
+		p.CPULoadHi = p.CPULoadLo + 70
+	}
+	if p.SketchBps == 0 {
+		p.SketchBps = 64_000
+	}
+	if p.TextBps == 0 {
+		p.TextBps = 16_000
+	}
+	if p.HeavyLossSketch <= 0 || p.HeavyLossSketch > 1 {
+		p.HeavyLossSketch = 0.5
+	}
+	return p
+}
+
+// PacketsFromPageFaults maps the observed page-fault rate to an image
+// packet budget (Fig 6): full budget at ≤PageFaultLo faults, halving
+// in powers of two down to 1 packet at ≥PageFaultHi.
+func (p Params) PacketsFromPageFaults(pageFaults float64) int {
+	p = p.WithDefaults()
+	maxExp := int(math.Round(math.Log2(float64(p.MaxPackets))))
+	lo, hi := p.PageFaultLo, p.PageFaultHi
 	switch {
 	case pageFaults <= lo:
 		return 1 << uint(maxExp)
@@ -239,21 +296,71 @@ func PacketsFromPageFaults(pageFaults float64, maxPackets int) int {
 	return 1 << uint(exp)
 }
 
-// PacketsFromCPULoad maps CPU load (percent) to an image packet
-// budget, reproducing Fig 7: 16 packets at ≤30 % falling linearly to 0
-// at 100 % (under full load nothing is accepted).
-func PacketsFromCPULoad(cpuLoad float64, maxPackets int) int {
-	if maxPackets < 1 {
-		maxPackets = 16
-	}
-	const lo, hi = 30.0, 100.0
+// PacketsFromCPULoad maps CPU load (percent) to an image packet budget
+// (Fig 7): full budget at ≤CPULoadLo % falling linearly to 0 at
+// ≥CPULoadHi % (under full load nothing is accepted).
+func (p Params) PacketsFromCPULoad(cpuLoad float64) int {
+	p = p.WithDefaults()
+	lo, hi := p.CPULoadLo, p.CPULoadHi
 	switch {
 	case cpuLoad <= lo:
-		return maxPackets
+		return p.MaxPackets
 	case cpuLoad >= hi:
 		return 0
 	}
-	return int(math.Floor(float64(maxPackets) * (hi - cpuLoad) / (hi - lo)))
+	return int(math.Floor(float64(p.MaxPackets) * (hi - cpuLoad) / (hi - lo)))
+}
+
+// PacketsFromLoss maps an observed loss fraction to a packet budget:
+// the budget shrinks proportionally to the expected usable prefix.
+func (p Params) PacketsFromLoss(loss float64) int {
+	p = p.WithDefaults()
+	if loss <= 0 {
+		return p.MaxPackets
+	}
+	if loss >= 1 {
+		return 0
+	}
+	return int(math.Floor(float64(p.MaxPackets) * (1 - loss)))
+}
+
+// Budget composes the three packet mappings by minimum — the engine's
+// tightening semantics without building an Engine.  NaN inputs mark an
+// unobserved parameter and leave that mapping unconstrained.  The
+// replay harness evaluates candidate Params against recorded host
+// state through this single entry point.
+func (p Params) Budget(cpuLoad, pageFaults, loss float64) int {
+	p = p.WithDefaults()
+	budget := p.MaxPackets
+	min := func(n int) {
+		if n < budget {
+			budget = n
+		}
+	}
+	if !math.IsNaN(pageFaults) {
+		min(p.PacketsFromPageFaults(pageFaults))
+	}
+	if !math.IsNaN(cpuLoad) {
+		min(p.PacketsFromCPULoad(cpuLoad))
+	}
+	if !math.IsNaN(loss) {
+		min(p.PacketsFromLoss(loss))
+	}
+	return budget
+}
+
+// PacketsFromPageFaults maps the observed page-fault rate to an image
+// packet budget with the paper's breakpoints; maxPackets generalizes
+// the paper's 16.  Kept as a thin wrapper over Params for existing
+// callers.
+func PacketsFromPageFaults(pageFaults float64, maxPackets int) int {
+	return Params{MaxPackets: maxPackets}.PacketsFromPageFaults(pageFaults)
+}
+
+// PacketsFromCPULoad maps CPU load (percent) to an image packet budget
+// with the paper's breakpoints (wrapper over Params).
+func PacketsFromCPULoad(cpuLoad float64, maxPackets int) int {
+	return Params{MaxPackets: maxPackets}.PacketsFromCPULoad(cpuLoad)
 }
 
 // StateKey names the state attributes the default policy consumes.
@@ -272,38 +379,32 @@ const (
 // accepting a long stream over a lossy path wastes the sender's
 // bandwidth on packets whose predecessors were dropped (prefix
 // decoding stalls at the first gap), so the budget shrinks
-// proportionally to the expected usable prefix.
+// proportionally to the expected usable prefix (wrapper over Params).
 func PacketsFromLoss(loss float64, maxPackets int) int {
-	if maxPackets < 1 {
-		maxPackets = 16
-	}
-	if loss <= 0 {
-		return maxPackets
-	}
-	if loss >= 1 {
-		return 0
-	}
-	return int(math.Floor(float64(maxPackets) * (1 - loss)))
+	return Params{MaxPackets: maxPackets}.PacketsFromLoss(loss)
 }
 
-// DefaultPolicy installs the reproduction's standard rules on the
-// engine:
+// InstallPolicy installs the standard rule set on the engine with the
+// given parameters:
 //
 //   - "page-fault-budget": Fig 6 mapping, fires when page-faults is
 //     observed.
 //   - "cpu-load-budget": Fig 7 mapping, fires when cpu-load is
 //     observed.  Budgets compose by minimum.
-//   - "low-bandwidth-sketch": below sketchBps the modality degrades to
-//     sketch; below textBps, to text (the wired-client analogue of the
+//   - "low-bandwidth-sketch": below SketchBps the modality degrades to
+//     sketch; below TextBps, to text (the wired-client analogue of the
 //     base station's SIR tiers).
-func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error {
+//   - "loss-budget" and "heavy-loss-sketch": observed data loss
+//     shrinks the budget and, past HeavyLossSketch, the modality.
+func InstallPolicy(e *Engine, p Params) error {
+	p = p.WithDefaults()
 	rules := []Rule{
 		{
 			Name:     "page-fault-budget",
 			When:     selector.MustCompile("exists(" + StatePageFaults + ")"),
 			Priority: 10,
 			Then: func(state selector.Attributes, d *Decision) {
-				d.ConstrainPackets(PacketsFromPageFaults(state[StatePageFaults].Num(), maxPackets))
+				d.ConstrainPackets(p.PacketsFromPageFaults(state[StatePageFaults].Num()))
 			},
 		},
 		{
@@ -311,12 +412,12 @@ func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error 
 			When:     selector.MustCompile("exists(" + StateCPULoad + ")"),
 			Priority: 10,
 			Then: func(state selector.Attributes, d *Decision) {
-				d.ConstrainPackets(PacketsFromCPULoad(state[StateCPULoad].Num(), maxPackets))
+				d.ConstrainPackets(p.PacketsFromCPULoad(state[StateCPULoad].Num()))
 			},
 		},
 		{
 			Name:     "low-bandwidth-sketch",
-			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, sketchBps)),
+			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, p.SketchBps)),
 			Priority: 5,
 			Then: func(state selector.Attributes, d *Decision) {
 				if d.Modality == "" || d.Modality == media.KindImage {
@@ -326,7 +427,7 @@ func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error 
 		},
 		{
 			Name:     "low-bandwidth-text",
-			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, textBps)),
+			When:     selector.MustCompile(fmt.Sprintf("%s < %g", StateBandwidth, p.TextBps)),
 			Priority: 4, // after the sketch rule so text wins when both fire
 			Then: func(state selector.Attributes, d *Decision) {
 				d.Modality = media.KindText
@@ -337,12 +438,12 @@ func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error 
 			When:     selector.MustCompile("exists(" + StateLoss + ")"),
 			Priority: 9,
 			Then: func(state selector.Attributes, d *Decision) {
-				d.ConstrainPackets(PacketsFromLoss(state[StateLoss].Num(), maxPackets))
+				d.ConstrainPackets(p.PacketsFromLoss(state[StateLoss].Num()))
 			},
 		},
 		{
 			Name:     "heavy-loss-sketch",
-			When:     selector.MustCompile(StateLoss + " >= 0.5"),
+			When:     selector.MustCompile(fmt.Sprintf("%s >= %g", StateLoss, p.HeavyLossSketch)),
 			Priority: 3,
 			Then: func(state selector.Attributes, d *Decision) {
 				if d.Modality == "" || d.Modality == media.KindImage {
@@ -357,4 +458,12 @@ func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error 
 		}
 	}
 	return nil
+}
+
+// DefaultPolicy installs the standard rules with the paper's
+// parameters (wrapper over InstallPolicy for existing callers).
+func DefaultPolicy(e *Engine, maxPackets int, sketchBps, textBps float64) error {
+	return InstallPolicy(e, Params{
+		MaxPackets: maxPackets, SketchBps: sketchBps, TextBps: textBps,
+	})
 }

@@ -61,6 +61,7 @@ const (
 	RecTypeDecision = "decision" // one inference decision
 	RecTypeSLO      = "slo"      // one SLO conformance transition
 	RecTypeNote     = "note"     // free-form annotation
+	RecTypePublish  = "publish"  // one published workload frame (sender, seq, size)
 )
 
 // RecHeader is the first line of a session record.
@@ -74,9 +75,13 @@ type RecHeader struct {
 
 // RecEvent is one recorded session event.  Fields beyond Type and
 // AtNS are per-type: spans carry Msg/Stage/NS, QoS samples carry
-// Name/Value, decisions and SLO transitions carry Client/Name/Detail.
+// Name/Value, decisions and SLO transitions carry Client/Name/Detail,
+// publish events carry Client (the sender) plus Seq/Level/Size.
 // Msg is the 16-hex trace identifier as a string (JSON numbers lose
-// uint64 precision in non-Go consumers).
+// uint64 precision in non-Go consumers).  The Seq/Level/Size additions
+// are optional fields, so the schema stays at version 1: older loaders
+// ignore unknown JSON keys and older records simply carry no publish
+// events.
 type RecEvent struct {
 	Type   string  `json:"type"`
 	AtNS   int64   `json:"at_ns"`
@@ -87,6 +92,9 @@ type RecEvent struct {
 	Name   string  `json:"name,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 	Detail string  `json:"detail,omitempty"`
+	Seq    uint64  `json:"seq,omitempty"`   // publish: per-sender event/data sequence
+	Level  int     `json:"level,omitempty"` // publish: progressive refinement level
+	Size   int     `json:"size,omitempty"`  // publish: payload bytes
 }
 
 // defaultRecordDepth bounds the recorder's event channel: enough to
@@ -209,6 +217,29 @@ func RecordEvent(ev RecEvent) {
 	if r := rec.Load(); r != nil {
 		r.Append(ev)
 	}
+}
+
+// RecordPublish appends one publish-workload event: sender published
+// the frame (kind "event" or "data", modality from the media
+// attribute) with the given per-sender sequence, refinement level and
+// payload size at atNS.  Counterfactual replay (DESIGN.md §15)
+// reconstructs the session's workload from these.  No-op while
+// recording is off.
+func RecordPublish(atNS int64, sender string, seq uint64, kind, modality string, level, size int) {
+	r := rec.Load()
+	if r == nil {
+		return
+	}
+	r.Append(RecEvent{
+		Type:   RecTypePublish,
+		AtNS:   atNS,
+		Client: sender,
+		Name:   kind,
+		Detail: modality,
+		Seq:    seq,
+		Level:  level,
+		Size:   size,
+	})
 }
 
 // InstallRecorder makes r the process-global recorder (nil

@@ -41,9 +41,9 @@ func (t Tier) String() string {
 
 // Thresholds are the SIR levels (dB) gating each tier.
 type Thresholds struct {
-	TextDB   float64 // minimum SIR for text
-	SketchDB float64 // minimum SIR for text + sketch
-	ImageDB  float64 // minimum SIR for the full image
+	TextDB   float64 `json:"text_db"`   // minimum SIR for text
+	SketchDB float64 `json:"sketch_db"` // minimum SIR for text + sketch
+	ImageDB  float64 `json:"image_db"`  // minimum SIR for the full image
 }
 
 // DefaultThresholds are the reproduction's standard tiers: the paper

@@ -19,6 +19,7 @@ package repair
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -251,7 +252,16 @@ type action struct {
 func (e *Engine) Poll(now time.Time) {
 	var actions []action
 	e.mu.Lock()
-	for name, st := range e.streams {
+	// Scan in sorted stream order: map iteration would randomize both
+	// the jitter-rng draw order and the callback order, making replay
+	// runs diverge (counterfactual replay needs byte-identical reruns).
+	names := make([]string, 0, len(e.streams))
+	for name := range e.streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := e.streams[name]
 		w, parked := st.src.Gap()
 		if w != st.waitingFor {
 			// The gap moved: delivery progressed.  If we had asked for

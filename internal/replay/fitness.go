@@ -1,0 +1,143 @@
+package replay
+
+import (
+	"time"
+
+	"adaptiveqos/internal/radio"
+	"adaptiveqos/internal/slo"
+)
+
+// Fitness scoring (DESIGN.md §15): one scalar per candidate, lower is
+// better.  The four SLO objectives are converted to burn rates with the
+// same slo.Spec.Burn normalization the live conformance state machine
+// applies — one unit means "exactly the error budget consumed" — then
+// weighted and summed with the resource terms:
+//
+//	fitness = 3·burn(loss) + burn(delivery) + burn(repair) + burn(tier)
+//	        + 0.5·overhead + 0.5·waste + 0.5·quality + truncation
+//
+// Loss carries the dominant weight: unrepaired loss is the failure the
+// paper's adaptation exists to prevent, and weighting it 3× keeps a
+// policy from buying pristine latency numbers by simply not delivering.
+// Burns are capped so one blown objective can't swamp every other
+// signal, and the resource terms are dimensionless ratios.
+const (
+	weightLoss     = 3.0
+	weightDelivery = 1.0
+	weightRepair   = 1.0
+	weightTier     = 1.0
+	weightBytes    = 0.5 // repair+NACK overhead vs data bytes
+	weightWaste    = 0.5 // tiers offered above what the channel sustains
+	weightQuality  = 0.5 // tiers lost below what the channel sustains
+	weightTrunc    = 1.0 // inference-budget truncation of offered frames
+	burnCap        = 10.0
+)
+
+// Score is one candidate's fitness breakdown.
+type Score struct {
+	Fitness float64 `json:"fitness"`
+
+	BurnLoss     float64 `json:"burn_loss"`
+	BurnDelivery float64 `json:"burn_delivery"`
+	BurnRepair   float64 `json:"burn_repair"`
+	BurnTier     float64 `json:"burn_tier"`
+
+	// ByteOverhead is (repair+NACK bytes)/data bytes; TierWaste the
+	// mean tiers offered above the sustainable tier per SIR sample;
+	// TierQualityLoss the mean tiers lost below it; TruncFrac the
+	// fraction of offered frames the inference budget suppressed.
+	ByteOverhead    float64 `json:"byte_overhead"`
+	TierWaste       float64 `json:"tier_waste"`
+	TierQualityLoss float64 `json:"tier_quality_loss"`
+	TruncFrac       float64 `json:"trunc_frac"`
+}
+
+// Evaluate scores one outcome against the workload under spec.  The
+// tier objective is counterfactual: the candidate's thresholds are
+// applied to the recorded SIR trace, with the default thresholds as
+// the sustainable-tier physics — a candidate offering tiers the SIR
+// can't sustain wastes transmit energy, one withholding sustainable
+// tiers loses quality, and samples whose effective tier falls below
+// the spec floor burn the tier error budget.
+func Evaluate(w *Workload, out *Outcome, spec slo.Spec) Score {
+	var sc Score
+
+	// Loss: post-repair undelivered fraction.
+	sc.BurnLoss = capBurn(spec.Burn(slo.ObjLoss, out.LossFrac))
+
+	// Delivery: late in-order deliveries plus everything never
+	// delivered, over the expected total — an undelivered frame is the
+	// worst possible latency, and counting it here keeps "drop instead
+	// of deliver late" from gaming the p99.
+	if out.Expected > 0 {
+		late := 0
+		for _, ns := range out.DeliveryNS {
+			if time.Duration(ns) > spec.DeliveryP99 {
+				late++
+			}
+		}
+		undelivered := out.Expected - out.Delivered
+		if undelivered < 0 {
+			undelivered = 0
+		}
+		sc.BurnDelivery = capBurn(spec.Burn(slo.ObjDelivery,
+			float64(late+undelivered)/float64(out.Expected)))
+	}
+
+	// Repair: fraction of converged repairs slower than the bound.
+	if n := len(out.ConvergeNS); n > 0 {
+		slow := 0
+		for _, ns := range out.ConvergeNS {
+			if time.Duration(ns) > spec.RepairConverge {
+				slow++
+			}
+		}
+		sc.BurnRepair = capBurn(spec.Burn(slo.ObjRepair, float64(slow)/float64(n)))
+	}
+
+	// Tier counterfactual over the recorded SIR trace.
+	if n := len(w.SIR); n > 0 {
+		phys := radio.DefaultThresholds()
+		bad, waste, lost := 0, 0, 0
+		for _, s := range w.SIR {
+			offered := out.Policy.Tier.TierFor(s.SIRdB)
+			sustainable := phys.TierFor(s.SIRdB)
+			effective := offered
+			if sustainable < effective {
+				effective = sustainable
+			}
+			if int(effective) < spec.TierFloor {
+				bad++
+			}
+			waste += int(offered - effective)
+			lost += int(sustainable - effective)
+		}
+		sc.BurnTier = capBurn(spec.Burn(slo.ObjTier, float64(bad)/float64(n)))
+		sc.TierWaste = float64(waste) / float64(n)
+		sc.TierQualityLoss = float64(lost) / float64(n)
+	}
+
+	if out.DataBytes > 0 {
+		sc.ByteOverhead = float64(out.RepairBytes+out.NackBytes) / float64(out.DataBytes)
+	}
+	if out.Offered > 0 {
+		sc.TruncFrac = float64(out.Truncated) / float64(out.Offered)
+	}
+
+	sc.Fitness = weightLoss*sc.BurnLoss +
+		weightDelivery*sc.BurnDelivery +
+		weightRepair*sc.BurnRepair +
+		weightTier*sc.BurnTier +
+		weightBytes*sc.ByteOverhead +
+		weightWaste*sc.TierWaste +
+		weightQuality*sc.TierQualityLoss +
+		weightTrunc*sc.TruncFrac
+	return sc
+}
+
+func capBurn(b float64) float64 {
+	if b > burnCap {
+		return burnCap
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"adaptiveqos/internal/slo"
+)
+
+// Ranked is one candidate's outcome, score and final rank.
+type Ranked struct {
+	Rank    int     `json:"rank"`
+	Outcome Outcome `json:"outcome"`
+	Score   Score   `json:"score"`
+}
+
+// Sweep reruns the workload under every candidate and returns the
+// ranking: ascending fitness, ties broken by policy name so the order
+// is total and reruns are byte-identical.
+func Sweep(w *Workload, grid []Policy, cfg SimConfig, spec slo.Spec) []Ranked {
+	ranked := make([]Ranked, 0, len(grid))
+	for _, pol := range grid {
+		out := Simulate(w, pol, cfg)
+		sc := Evaluate(w, &out, spec)
+		ranked = append(ranked, Ranked{Outcome: out, Score: sc})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Score.Fitness != ranked[j].Score.Fitness {
+			return ranked[i].Score.Fitness < ranked[j].Score.Fitness
+		}
+		return ranked[i].Outcome.Policy.Name < ranked[j].Outcome.Policy.Name
+	})
+	for i := range ranked {
+		ranked[i].Rank = i + 1
+	}
+	return ranked
+}
+
+// WriteTable renders the ranking as a fixed-width text table (top <= 0
+// writes every row).
+func WriteTable(w io.Writer, ranked []Ranked, top int) {
+	if top <= 0 || top > len(ranked) {
+		top = len(ranked)
+	}
+	fmt.Fprintf(w, "%4s  %-34s %8s %7s %9s %8s %8s %7s\n",
+		"rank", "policy", "fitness", "loss", "dlvr-p99", "repaired", "abandon", "ovh")
+	for _, r := range ranked[:top] {
+		fmt.Fprintf(w, "%4d  %-34s %8.3f %6.1f%% %9s %8d %8d %6.2fx\n",
+			r.Rank, r.Outcome.Policy.Name, r.Score.Fitness,
+			100*r.Outcome.LossFrac, fmtDur(r.Outcome.DeliveryP99),
+			r.Outcome.Repaired, r.Outcome.Abandoned, r.Score.ByteOverhead)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// WriteJSON renders the full ranking as deterministic indented JSON.
+func WriteJSON(w io.Writer, ranked []Ranked) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ranked)
+}

@@ -301,9 +301,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, joinErr
 	}
 
-	wallStart := time.Now()
+	wallStart := clock.Wall.Now()
 	clk.AdvanceTo(time.Unix(0, r.endNS))
-	wall := time.Since(wallStart)
+	wall := clock.Wall.Since(wallStart)
 	net.Close()
 
 	return r.result(wall), nil

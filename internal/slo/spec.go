@@ -138,6 +138,21 @@ func (s Spec) budget(o Objective) (float64, bool) {
 	return 0, false
 }
 
+// Burn returns the burn rate implied by an observed bad fraction (for
+// ObjLoss, the mean sampled loss fraction): frac divided by the
+// objective's error budget, exactly the normalization the conformance
+// state machine applies to its sliding windows.  Objectives the spec
+// disables burn 0.  The counterfactual replay harness scores candidate
+// policies with this (DESIGN.md §15), so replay fitness and live
+// conformance agree on what "one budget's worth of badness" means.
+func (s Spec) Burn(o Objective, frac float64) float64 {
+	budget, enabled := s.withDefaults().budget(o)
+	if !enabled || budget <= 0 {
+		return 0
+	}
+	return frac / budget
+}
+
 // bad classifies one observation against the objective's target.
 func (s Spec) bad(o Objective, v float64) bool {
 	switch o {

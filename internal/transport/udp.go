@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
+
+	"adaptiveqos/internal/clock"
 )
 
 // UDPTransport runs the substrate over real UDP sockets.  "Multicast"
@@ -17,6 +18,11 @@ import (
 // Each datagram carries a small header naming the logical sender and a
 // unicast flag, so receivers see the same Packet shape as on SimNet.
 type UDPTransport struct {
+	// Clock stamps received packets (nil = wall clock).  Set before
+	// Listen; like SimNet and DESNet, arrival timestamps go through the
+	// seam so recorded and replayed sessions see consistent time.
+	Clock clock.Clock
+
 	mu    sync.Mutex
 	peers map[string]*net.UDPAddr
 }
@@ -66,6 +72,7 @@ func (t *UDPTransport) Listen(id, addr string) (Conn, error) {
 	c := &udpConn{
 		t:     t,
 		id:    id,
+		clk:   clock.Or(t.Clock),
 		sock:  sock,
 		inbox: make(chan Packet, 1024),
 		done:  make(chan struct{}),
@@ -79,6 +86,7 @@ func (t *UDPTransport) Listen(id, addr string) (Conn, error) {
 type udpConn struct {
 	t     *UDPTransport
 	id    string
+	clk   clock.Clock
 	sock  *net.UDPConn
 	inbox chan Packet
 
@@ -200,7 +208,7 @@ func (c *udpConn) readLoop() {
 			From:    sender,
 			Data:    append([]byte(nil), frame...),
 			Unicast: unicast,
-			At:      time.Now(),
+			At:      c.clk.Now(),
 		}
 		select {
 		case c.inbox <- p:
