@@ -166,3 +166,29 @@ case "$best" in
 	exit 1
 	;;
 esac
+
+# Windowed-timeline gates (DESIGN.md §16): the ring store, windowed
+# quantile derivation, query filtering and exporters must be race-clean
+# with -count=1; the disabled path and enabled steady-state sampling
+# must stay zero-alloc; and an enabled timeline must cost under 5% on
+# the counter+histogram hot path (non-race: the timing guard skips
+# itself under -race, like the other guards).
+go test -race -count=1 ./internal/timeline/
+go test -count=1 -run 'TestDisabledPathZeroAllocs|TestSampleZeroAllocs' ./internal/timeline/
+go test -count=1 -run TestTimelineOverheadGuard -v ./internal/timeline/
+
+# Timeline determinism gate: the same seeded lecture scenario exported
+# twice must produce byte-identical JSONL timelines — window bounds,
+# counter deltas, rates and windowed quantiles all ride the virtual
+# clock, so any wall-time leak shows up as a byte diff here.
+go build -o /tmp/qossim-ci ./cmd/qossim
+/tmp/qossim-ci -scenario lecture -clients 1000 -sim-duration 30s -timeline /tmp/aqos-tl-1.jsonl >/dev/null
+/tmp/qossim-ci -scenario lecture -clients 1000 -sim-duration 30s -timeline /tmp/aqos-tl-2.jsonl >/dev/null
+rm -f /tmp/qossim-ci
+if ! cmp -s /tmp/aqos-tl-1.jsonl /tmp/aqos-tl-2.jsonl; then
+	echo "TIMELINE DETERMINISM REGRESSION: same-seed runs exported different timelines" >&2
+	diff /tmp/aqos-tl-1.jsonl /tmp/aqos-tl-2.jsonl | head -10 >&2
+	rm -f /tmp/aqos-tl-1.jsonl /tmp/aqos-tl-2.jsonl
+	exit 1
+fi
+rm -f /tmp/aqos-tl-1.jsonl /tmp/aqos-tl-2.jsonl

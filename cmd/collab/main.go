@@ -10,6 +10,7 @@
 //	       [-loss 0] [-repair-timeout 250ms] [-repair-retries 6]
 //	       [-obs-addr :9090] [-obs-hold 0s] [-trace]
 //	       [-record out.jsonl] [-slo]
+//	       [-timeline tl.jsonl] [-timeline-window 250ms]
 //
 // With -obs-addr, pipeline instrumentation is enabled and the
 // observability endpoint serves Prometheus-style /metrics and the
@@ -41,6 +42,13 @@
 // decisions, radio snapshot).  Combine with -loss to watch clients go
 // violated under chaos and recover as gap repair converges.
 //
+// With -timeline <path>, a windowed telemetry timeline samples every
+// tracked metric each -timeline-window (DESIGN.md §16): per-window
+// counter deltas and rates, gauge values and windowed histogram
+// quantiles are kept in a bounded ring, served live at
+// /debug/timeline, attached to SLO violation attributions, and
+// exported to the file at exit (.csv = CSV, else JSONL).
+//
 // -loss accepts either a probability (0.2) or a percentage (20).
 package main
 
@@ -49,6 +57,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"adaptiveqos/internal/apps"
@@ -64,9 +73,24 @@ import (
 	"adaptiveqos/internal/session"
 	"adaptiveqos/internal/slo"
 	"adaptiveqos/internal/snmp"
+	"adaptiveqos/internal/timeline"
 	"adaptiveqos/internal/trace"
 	"adaptiveqos/internal/transport"
 )
+
+// exportTimeline writes the run's per-window series to path — CSV when
+// the extension says so, JSONL otherwise.
+func exportTimeline(path string, tl *timeline.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return tl.WriteCSV(f, timeline.Query{})
+	}
+	return tl.WriteJSONL(f, timeline.Query{})
+}
 
 func main() {
 	nWired := flag.Int("wired", 2, "number of wired clients")
@@ -81,6 +105,8 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "enable the cross-node flight recorder and print a sampled timeline in the summary")
 	recordPath := flag.String("record", "", "stream a JSONL session record to this file (enables instrumentation)")
 	sloFlag := flag.Bool("slo", true, "monitor per-client SLO conformance and print the summary")
+	tlPath := flag.String("timeline", "", "export the run's per-window metric timeline to this file (.csv = CSV, else JSONL; enables instrumentation)")
+	tlWindow := flag.Duration("timeline-window", 250*time.Millisecond, "timeline sampling window")
 	flag.Parse()
 
 	if *loss > 1 {
@@ -101,11 +127,24 @@ func main() {
 		defer srv.Close()
 		log.Printf("collab: serving /metrics and the /debug index on %s", *obsAddr)
 	}
-	if *obsAddr != "" || *recordPath != "" {
+	if *obsAddr != "" || *recordPath != "" || *tlPath != "" {
 		obs.SetEnabled(true)
 		collector = obs.NewCollector(100 * time.Millisecond)
 		collector.Start()
 		defer collector.Stop()
+	}
+
+	// Windowed telemetry timeline: snapshot every tracked counter, gauge
+	// and histogram each -timeline-window into the bounded ring, publish
+	// it process-globally (SLO attributions attach curves, /debug/timeline
+	// serves it) and export the windows at exit.
+	var tl *timeline.Timeline
+	if *tlPath != "" {
+		tl = timeline.New(timeline.Config{Window: *tlWindow})
+		tl.TrackAll()
+		timeline.Enable(tl)
+		tl.Start()
+		defer timeline.Disable()
 	}
 	if *recordPath != "" {
 		if _, err := obs.StartRecording(*recordPath, "collab"); err != nil {
@@ -365,6 +404,16 @@ func main() {
 		collector.SampleOnce()
 		fmt.Println("\n--- qos telemetry ---")
 		obs.WriteQoSDebug(os.Stdout, 16)
+		if tl != nil {
+			// Close the partial tail window after the final sample so the
+			// export covers the whole run, then write by extension.
+			tl.Stop()
+			tl.Flush()
+			if err := exportTimeline(*tlPath, tl); err != nil {
+				log.Fatalf("collab: timeline export: %v", err)
+			}
+			log.Printf("collab: timeline exported to %s", *tlPath)
+		}
 		if *obsHold > 0 {
 			log.Printf("collab: holding observability endpoint on %s for %s", *obsAddr, *obsHold)
 			clock.Wall.Sleep(*obsHold)

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"adaptiveqos/internal/basestation"
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/message"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/profile"
 	"adaptiveqos/internal/radio"
@@ -20,6 +22,7 @@ import (
 	"adaptiveqos/internal/scenario"
 	"adaptiveqos/internal/selector"
 	"adaptiveqos/internal/slo"
+	"adaptiveqos/internal/timeline"
 	"adaptiveqos/internal/transport"
 )
 
@@ -149,6 +152,8 @@ func microBenches() []struct {
 				slo.ObserveDelivery("bench-client", time.Millisecond)
 			}
 		}},
+		{"timeline-snapshot", benchTimelineSnapshot},
+		{"timeline-query", benchTimelineQuery},
 		{"sim-10k", func(b *testing.B) { benchScenario(b, 10_000) }},
 		{"sim-100k", func(b *testing.B) { benchScenario(b, 100_000) }},
 		{"replay-grid", benchReplayGrid},
@@ -164,6 +169,83 @@ func microBenches() []struct {
 				r.Append(ev)
 			}
 		}},
+	}
+}
+
+// benchTimelineFixture builds a virtual-clock timeline tracking a
+// realistic series mix (DESIGN.md §16): 16 counters, 16 gauges, 8
+// histograms and 2 derived series.
+func benchTimelineFixture() (*timeline.Timeline, *clock.Virtual, []*metrics.Counter, []*obs.Histogram) {
+	clk := clock.NewVirtual(clock.DefaultEpoch)
+	tl := timeline.New(timeline.Config{Window: time.Second, Retention: 128, Clock: clk})
+	ctrs := make([]*metrics.Counter, 16)
+	for i := range ctrs {
+		ctrs[i] = &metrics.Counter{}
+		tl.TrackCounter(fmt.Sprintf("bench.ctr.%d", i), ctrs[i])
+	}
+	for i := 0; i < 16; i++ {
+		g := &obs.Gauge{}
+		g.Set(float64(i))
+		tl.TrackGauge(fmt.Sprintf("bench.gauge.%d", i), g)
+	}
+	hists := make([]*obs.Histogram, 8)
+	for i := range hists {
+		hists[i] = &obs.Histogram{}
+		tl.TrackHistogram(fmt.Sprintf("bench.hist.%d", i), hists[i])
+	}
+	tl.TrackFunc("bench.derived.0", func() float64 { return 1 })
+	tl.TrackFunc("bench.derived.1", func() float64 { return 2 })
+	return tl, clk, ctrs, hists
+}
+
+// benchTimelineSnapshot measures one op = closing one timeline window:
+// snapshotting every tracked series into the ring, deriving counter
+// deltas and windowed histogram quantiles (DESIGN.md §16).  The
+// steady-state window close must stay allocation-free.
+func benchTimelineSnapshot(b *testing.B) {
+	tl, clk, ctrs, hists := benchTimelineFixture()
+	for _, c := range ctrs {
+		c.Add(3)
+	}
+	for _, h := range hists {
+		h.Observe(250_000)
+		h.Observe(9_000_000)
+	}
+	clk.Advance(time.Second)
+	tl.SampleNow() // warm the ring so iteration 0 isn't special
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		tl.SampleNow()
+	}
+}
+
+// benchTimelineQuery measures one op = a filtered Query over a full
+// ring: the /debug/timeline and SLO-attribution read path
+// (DESIGN.md §16), including per-window rate and quantile assembly.
+func benchTimelineQuery(b *testing.B) {
+	tl, clk, ctrs, hists := benchTimelineFixture()
+	for w := 0; w < 128; w++ {
+		for _, c := range ctrs {
+			c.Add(uint64(w % 7))
+		}
+		for _, h := range hists {
+			h.Observe(int64(w%100) * 10_000)
+		}
+		clk.Advance(time.Second)
+		tl.SampleNow()
+	}
+	q := timeline.Query{Contains: []string{"bench.hist.", "bench.ctr."}, MaxWindows: 16}
+	if len(tl.Query(q)) != 24 {
+		b.Fatal("unexpected query shape")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tl.Query(q)) != 24 {
+			b.Fatal("wrong series count")
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/replay"
 	"adaptiveqos/internal/slo"
+	"adaptiveqos/internal/timeline"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 	jitter := flag.Duration("jitter", 0, "uniform extra link delay in [0, jitter]")
 	loss := flag.Float64("loss", -1, "per-frame loss probability (negative = the record's observed mean)")
 	class := flag.String("class", "interactive", "SLO contract class scoring the candidates (realtime|interactive|bulk)")
+	curveWindows := flag.Int("curve-windows", 0, "attach per-window metric curves to every candidate (0 = off)")
+	tlPath := flag.String("timeline", "", "export every candidate's curves as JSONL sections to this file (implies -curve-windows 12)")
 	flag.Parse()
 
 	if *in == "" {
@@ -70,8 +73,18 @@ func main() {
 		}
 	}
 
-	cfg := replay.SimConfig{Seed: *seed, Delay: *delay, Jitter: *jitter, Loss: *loss}
+	if *tlPath != "" && *curveWindows <= 0 {
+		*curveWindows = 12
+	}
+	cfg := replay.SimConfig{Seed: *seed, Delay: *delay, Jitter: *jitter, Loss: *loss,
+		CurveWindows: *curveWindows}
 	ranked := replay.Sweep(w, grid, cfg, slo.SpecForClass(*class))
+
+	if *tlPath != "" {
+		if err := exportCurves(*tlPath, ranked); err != nil {
+			log.Fatalf("write timeline: %v", err)
+		}
+	}
 
 	if *jsonOut {
 		if err := replay.WriteJSON(os.Stdout, ranked); err != nil {
@@ -86,6 +99,28 @@ func main() {
 	fmt.Printf("sweeping %d candidate polic%s (seed %d, class %s)\n\n",
 		len(grid), plural(len(grid), "y", "ies"), *seed, *class)
 	replay.WriteTable(os.Stdout, ranked, *top)
+}
+
+// exportCurves writes one JSONL section per ranked candidate, in rank
+// order: each section is a meta line labeled with the policy name
+// followed by that candidate's per-window records.
+func exportCurves(path string, ranked []replay.Ranked) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range ranked {
+		meta := timeline.Meta{Label: r.Outcome.Policy.Name}
+		if len(r.Outcome.Curve) > 0 && len(r.Outcome.Curve[0].Points) > 0 {
+			p := r.Outcome.Curve[0].Points[0]
+			meta.WindowMS = (p.EndNS - p.StartNS) / 1e6
+		}
+		if err := timeline.WriteSeriesJSONL(f, meta, r.Outcome.Curve); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func plural(n int, one, many string) string {

@@ -19,11 +19,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"adaptiveqos/internal/scenario"
+	"adaptiveqos/internal/timeline"
 	"adaptiveqos/internal/transport"
 )
+
+// exportTimeline writes the scenario's per-window series to path —
+// CSV when the extension says so, JSONL otherwise.  The bytes are a
+// pure function of the scenario config, so the CI determinism gate can
+// compare two same-seed exports directly.
+func exportTimeline(path string, tl *timeline.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return tl.WriteCSV(f, timeline.Query{})
+	}
+	return tl.WriteJSONL(f, timeline.Query{})
+}
 
 func main() {
 	var (
@@ -40,6 +58,7 @@ func main() {
 		bwBps   = flag.Float64("bandwidth-bps", 0, "per-client link bandwidth, bits/s (0 = unlimited)")
 		buckets = flag.Int("curve-buckets", 12, "time buckets in the latency/loss curves")
 		jsonOut = flag.Bool("json", false, "emit the full Result as JSON")
+		tlPath  = flag.String("timeline", "", "export the run's per-window timeline to this file (.csv = CSV, else JSONL)")
 	)
 	flag.Parse()
 
@@ -60,10 +79,16 @@ func main() {
 		CurveBuckets: *buckets,
 	}
 
-	res, err := scenario.Run(cfg)
+	res, tl, err := scenario.RunWithTimeline(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qossim:", err)
 		os.Exit(1)
+	}
+	if *tlPath != "" {
+		if err := exportTimeline(*tlPath, tl); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {

@@ -51,6 +51,25 @@ func (s *CounterSet) Counter(name string) *Counter {
 	return c
 }
 
+// Each calls fn for every registered counter.  The set's lock is held
+// for the duration, so fn must not call back into the registry; hot
+// consumers (the timeline sampler) grab handles here once and read
+// them lock-free afterwards.  Iteration order is unspecified.
+func (s *CounterSet) Each(fn func(name string, c *Counter)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		fn(name, c)
+	}
+}
+
+// Len reports the number of registered counters.
+func (s *CounterSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.counters)
+}
+
 // Snapshot returns the current value of every registered counter.
 func (s *CounterSet) Snapshot() map[string]uint64 {
 	s.mu.Lock()
@@ -88,6 +107,14 @@ func C(name string) *Counter { return defaultCounters.Counter(name) }
 
 // Counters returns the process-global counter snapshot.
 func Counters() map[string]uint64 { return defaultCounters.Snapshot() }
+
+// EachCounter iterates the process-global registry (see CounterSet.Each
+// for the locking contract).
+func EachCounter(fn func(name string, c *Counter)) { defaultCounters.Each(fn) }
+
+// NumCounters reports the process-global registry's size — a cheap
+// change detector for consumers that cache handle lists.
+func NumCounters() int { return defaultCounters.Len() }
 
 // Names of the dispatch fast-path counters (see DESIGN.md "Dispatch
 // fast path").  Declared here so instrumented packages and tools agree
@@ -143,6 +170,10 @@ const (
 	// the bounded buffer was full.
 	CtrRecordAppended = "record.appended"
 	CtrRecordDropped  = "record.dropped"
+	// Gauge-cardinality cap (internal/obs, DESIGN.md §16): sets against
+	// a labeled gauge family already at its child limit, folded into the
+	// family's min/mean/max overflow aggregate instead of registering.
+	CtrGaugeCardinalityDropped = "gauge.cardinality.dropped"
 )
 
 // SLOClientViolations names the per-client violation counter (exposed
@@ -242,6 +273,7 @@ var defaultCounterNames = []string{
 	CtrSLOTransitions, CtrSLOViolations, CtrSLORecoveries,
 	CtrAdaptationEffective, CtrAdaptationIneffective,
 	CtrRecordAppended, CtrRecordDropped,
+	CtrGaugeCardinalityDropped,
 }
 
 // TouchDefaults pre-registers every declared counter family in the

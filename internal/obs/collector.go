@@ -17,9 +17,8 @@ type SamplerFunc func(set func(name string, value float64))
 // power-control state from base stations, RTCP loss/jitter from
 // clients, and host parameters from host agents.
 type Collector struct {
-	interval time.Duration
-
 	mu       sync.Mutex
+	interval time.Duration
 	samplers []SamplerFunc
 	stop     chan struct{}
 	done     chan struct{}
@@ -33,11 +32,33 @@ func NewCollector(interval time.Duration) *Collector {
 	return &Collector{interval: interval}
 }
 
-// Register adds a sampler (safe while running).
+// Register adds a sampler.  Safe while running: the loop copies the
+// slice per tick, so a sampler registered after Start is picked up on
+// the next fire without a restart.
 func (c *Collector) Register(fn SamplerFunc) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.samplers = append(c.samplers, fn)
+}
+
+// SetInterval changes the sampling cadence (d <= 0 means 1s).  Safe
+// while running: the loop re-arms its timer with the current interval
+// after every fire, so the change takes effect from the next tick
+// without a restart.
+func (c *Collector) SetInterval(d time.Duration) {
+	if d <= 0 {
+		d = time.Second
+	}
+	c.mu.Lock()
+	c.interval = d
+	c.mu.Unlock()
+}
+
+// Interval reports the current sampling cadence.
+func (c *Collector) Interval() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interval
 }
 
 // SampleOnce runs every sampler immediately (deterministic snapshots
@@ -48,6 +69,9 @@ func (c *Collector) SampleOnce() {
 	samplers := make([]SamplerFunc, len(c.samplers))
 	copy(samplers, c.samplers)
 	c.mu.Unlock()
+	// Each sampling round re-bases the gauge-overflow aggregates, so the
+	// capped families' min/mean/max describe this round's spread.
+	StartGaugeOverflowRound()
 	set := SetGauge
 	if r := rec.Load(); r != nil {
 		at := nowNS()
@@ -73,13 +97,18 @@ func (c *Collector) Start() {
 	c.done = make(chan struct{})
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		ticker := clockOrWall().NewTicker(c.interval)
-		defer ticker.Stop()
+		// A timer re-armed with the current interval after each fire
+		// (rather than a fixed ticker) lets SetInterval take effect from
+		// the next tick.  Re-arm before sampling so the next fire is
+		// already scheduled when samplers observe this one.
+		timer := clockOrWall().NewTimer(c.Interval())
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C():
+			case <-timer.C():
+				timer.Reset(c.Interval())
 				c.SampleOnce()
 			}
 		}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptiveqos/internal/clock"
+)
+
+// TestCollectorVirtualClock pins the collector's scheduling to the
+// clock seam: with a virtual clock installed the loop fires exactly
+// when virtual time crosses the interval, SetInterval takes effect
+// from the next re-arm, and samplers registered after Start join the
+// next tick.
+func TestCollectorVirtualClock(t *testing.T) {
+	virt := clock.NewVirtual(clock.DefaultEpoch)
+	SetClock(virt)
+	defer SetClock(nil)
+
+	var samples atomic.Int64
+	var lateSamples atomic.Int64
+	c := NewCollector(100 * time.Millisecond)
+	c.Register(func(set func(string, float64)) { samples.Add(1) })
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	armed := func() bool { return virt.Len() >= 1 }
+
+	c.Start()
+	defer c.Stop()
+	// The loop re-arms before sampling, so waiting for the heap to hold
+	// the next tick is the barrier that makes each Advance race-free.
+	waitFor("initial arm", armed)
+	virt.Advance(100 * time.Millisecond)
+	waitFor("sample 1", func() bool { return samples.Load() == 1 })
+	waitFor("re-arm 1", armed)
+
+	// Register-after-Start joins the next fire without a restart.
+	c.Register(func(set func(string, float64)) { lateSamples.Add(1) })
+	virt.Advance(100 * time.Millisecond)
+	waitFor("sample 2", func() bool { return samples.Load() == 2 })
+	if lateSamples.Load() != 1 {
+		t.Errorf("late sampler ran %d times, want 1", lateSamples.Load())
+	}
+	waitFor("re-arm 2", armed)
+
+	// The tick pending now was armed with the old 100ms interval; the
+	// new 200ms cadence applies from the re-arm after it fires.
+	c.SetInterval(200 * time.Millisecond)
+	if c.Interval() != 200*time.Millisecond {
+		t.Fatalf("Interval = %v, want 200ms", c.Interval())
+	}
+	virt.Advance(100 * time.Millisecond)
+	waitFor("sample 3", func() bool { return samples.Load() == 3 })
+	waitFor("re-arm 3", armed)
+
+	virt.Advance(100 * time.Millisecond) // half the new interval: no fire
+	if got := samples.Load(); got != 3 {
+		t.Errorf("samples after half-interval advance = %d, want 3", got)
+	}
+	virt.Advance(100 * time.Millisecond)
+	waitFor("sample 4", func() bool { return samples.Load() == 4 })
+}
+
+func TestCollectorSetIntervalDefaults(t *testing.T) {
+	c := NewCollector(0)
+	if c.Interval() != time.Second {
+		t.Errorf("NewCollector(0) interval = %v, want 1s", c.Interval())
+	}
+	c.SetInterval(250 * time.Millisecond)
+	if c.Interval() != 250*time.Millisecond {
+		t.Errorf("Interval = %v, want 250ms", c.Interval())
+	}
+	c.SetInterval(-1)
+	if c.Interval() != time.Second {
+		t.Errorf("SetInterval(-1) interval = %v, want 1s", c.Interval())
+	}
+}

@@ -222,11 +222,18 @@ var extras = struct {
 }{m: make(map[string]http.HandlerFunc)}
 
 // RegisterDebug mounts h at path on every Handler built afterwards.
-// Registering a path twice keeps the latest handler.
-func RegisterDebug(path string, h http.HandlerFunc) {
+// The first registration of a path wins; a second registration is
+// rejected with an error so two packages cannot silently fight over an
+// endpoint (the keep-latest behaviour this replaces made the winner
+// depend on package init order).
+func RegisterDebug(path string, h http.HandlerFunc) error {
 	extras.mu.Lock()
+	defer extras.mu.Unlock()
+	if _, taken := extras.m[path]; taken {
+		return fmt.Errorf("obs: debug path %s already registered", path)
+	}
 	extras.m[path] = h
-	extras.mu.Unlock()
+	return nil
 }
 
 // debugIndex lists the built-in endpoints on the /debug index page;
@@ -237,6 +244,7 @@ var debugIndex = []struct{ path, desc string }{
 	{"/debug/trace", "flight-recorder timelines (?msg=<hex id> or ?sender=&seq=)"},
 	{"/debug/slo", "per-client SLO conformance, transitions and attribution"},
 	{"/debug/decisions", "inference decision audit (?client=<id>)"},
+	{"/debug/timeline", "windowed metric curves (?series=&contains=&windows=&format=text|json|jsonl|csv)"},
 	{"/debug/pprof/", "net/http/pprof profiling suite"},
 }
 

@@ -15,6 +15,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -59,14 +60,21 @@ func (g *Gauge) Load() float64 { return bitsFloat(g.bits.Load()) }
 
 // registry holds the process-global named histograms and gauges.
 // Hot paths hold *Histogram / *Gauge handles; the maps are only
-// consulted at registration and exposition time.
+// consulted at registration and exposition time.  famCount tracks how
+// many labeled children each gauge family has registered (the
+// cardinality cap, cardinality.go); overflow holds the per-family
+// aggregates for sets beyond the cap.
 var reg = struct {
-	mu     sync.Mutex
-	hists  map[string]*Histogram
-	gauges map[string]*Gauge
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+	famCount map[string]int
+	overflow map[string]*overflowAgg
 }{
-	hists:  make(map[string]*Histogram),
-	gauges: make(map[string]*Gauge),
+	hists:    make(map[string]*Histogram),
+	gauges:   make(map[string]*Gauge),
+	famCount: make(map[string]int),
+	overflow: make(map[string]*overflowAgg),
 }
 
 // H returns (creating on demand) the named histogram.  Names may
@@ -82,20 +90,58 @@ func H(name string) *Histogram {
 	return h
 }
 
-// G returns (creating on demand) the named gauge.
+// G returns (creating on demand) the named gauge.  Labeled names
+// (`slo_state{client="w0"}`) count against their family's cardinality
+// cap: past the cap the returned gauge is detached — callers keep a
+// working handle, but its values are never exposed (the family's
+// _overflow aggregates carry the spread instead).
 func G(name string) *Gauge {
 	reg.mu.Lock()
-	defer reg.mu.Unlock()
-	g, ok := reg.gauges[name]
-	if !ok {
+	g, _ := gaugeForLocked(name)
+	reg.mu.Unlock()
+	if g == nil {
+		gaugeDropped.Inc()
 		g = &Gauge{}
-		reg.gauges[name] = g
 	}
 	return g
 }
 
-// SetGauge sets the named gauge (collector convenience).
-func SetGauge(name string, v float64) { G(name).Set(v) }
+// gaugeForLocked resolves name to a registered gauge, creating it on
+// demand within the family cardinality cap.  Past the cap it returns
+// (nil, family) so the caller can fold the value into the family's
+// overflow aggregate.  Caller holds reg.mu.
+func gaugeForLocked(name string) (g *Gauge, overflowFam string) {
+	if g, ok := reg.gauges[name]; ok {
+		return g, ""
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		fam := name[:i]
+		if limit := GaugeCardinalityLimit(); limit > 0 && reg.famCount[fam] >= limit {
+			return nil, fam
+		}
+		reg.famCount[fam]++
+	}
+	g = &Gauge{}
+	reg.gauges[name] = g
+	return g, ""
+}
+
+// SetGauge sets the named gauge (collector convenience).  Sets against
+// a labeled family past its cardinality cap fold into the family's
+// min/mean/max overflow aggregate and bump
+// aqos_gauge_cardinality_dropped instead.
+func SetGauge(name string, v float64) {
+	reg.mu.Lock()
+	g, fam := gaugeForLocked(name)
+	if g == nil {
+		overflowObserveLocked(fam, v)
+		reg.mu.Unlock()
+		gaugeDropped.Inc()
+		return
+	}
+	reg.mu.Unlock()
+	g.Set(v)
+}
 
 // Gauges returns a snapshot of every registered gauge.
 func Gauges() map[string]float64 {
@@ -117,6 +163,43 @@ func Histograms() map[string]HistogramSnapshot {
 		out[name] = h.Snapshot()
 	}
 	return out
+}
+
+// EachGauge calls fn for every registered gauge.  The registry lock is
+// held for the duration, so fn must not call back into registration;
+// handle-caching consumers (the timeline sampler) grab pointers here
+// once and read them lock-free afterwards.  Iteration order is
+// unspecified.
+func EachGauge(fn func(name string, g *Gauge)) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for name, g := range reg.gauges {
+		fn(name, g)
+	}
+}
+
+// EachHistogram is EachGauge for histograms (same locking contract).
+func EachHistogram(fn func(name string, h *Histogram)) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for name, h := range reg.hists {
+		fn(name, h)
+	}
+}
+
+// NumGauges reports the registered gauge count — a cheap change
+// detector for consumers that cache handle lists.
+func NumGauges() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return len(reg.gauges)
+}
+
+// NumHistograms reports the registered histogram count.
+func NumHistograms() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return len(reg.hists)
 }
 
 // sortedKeys returns the map's keys in sorted order (exposition).

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"adaptiveqos/internal/clock"
+	"adaptiveqos/internal/obs"
 	"adaptiveqos/internal/repair"
+	"adaptiveqos/internal/timeline"
 	"adaptiveqos/internal/transport"
 )
 
@@ -27,6 +29,11 @@ type SimConfig struct {
 	// Links to the replay coordinator are always clean, mirroring the
 	// live deployment's wired coordinator.
 	Loss float64
+	// CurveWindows, when > 0, attaches per-window metric curves to the
+	// Outcome: the recorded span splits into this many timeline windows
+	// (plus one drain-tail window), each carrying delivery/repair deltas
+	// and windowed latency quantiles.
+	CurveWindows int
 }
 
 func (c SimConfig) withDefaults(w *Workload) SimConfig {
@@ -86,6 +93,11 @@ type Outcome struct {
 	// DeliveryP99 and ConvergeP99 summarize the samples above.
 	DeliveryP99 time.Duration `json:"delivery_p99_ns"`
 	ConvergeP99 time.Duration `json:"converge_p99_ns"`
+
+	// Curve holds the per-window metric series when
+	// SimConfig.CurveWindows > 0 — how this candidate's delivery, repair
+	// traffic and latency evolved across the replayed span.
+	Curve []timeline.SeriesData `json:"curve,omitempty"`
 }
 
 // Frame wire format (replay-internal).
@@ -144,10 +156,11 @@ type tracker struct {
 	gapSince int64           // virtual ns the current gap opened; 0 = none
 
 	out *Outcome
+	lat *obs.Histogram // optional: windowed delivery latency for curves
 }
 
-func newTracker(out *Outcome) *tracker {
-	return &tracker{next: 1, parked: make(map[uint64]bool), out: out}
+func newTracker(out *Outcome, lat *obs.Histogram) *tracker {
+	return &tracker{next: 1, parked: make(map[uint64]bool), out: out, lat: lat}
 }
 
 // Gap implements repair.Stream.
@@ -160,6 +173,9 @@ func (t *tracker) accept(seq uint64, sentNS int64, now time.Time) {
 	}
 	t.out.Delivered++
 	t.out.DeliveryNS = append(t.out.DeliveryNS, now.UnixNano()-sentNS)
+	if t.lat != nil {
+		t.lat.Observe(now.UnixNano() - sentNS)
+	}
 	if seq > t.next {
 		t.parked[seq] = true
 		if t.gapSince == 0 {
@@ -211,6 +227,46 @@ func Simulate(w *Workload, pol Policy, cfg SimConfig) Outcome {
 		Clock:       clk,
 	})
 	defer net.Close()
+
+	// Candidate curves: derived delta series over the Outcome's own
+	// accounting plus a windowed latency histogram.  Boundary SampleNow
+	// events are scheduled before any workload event, so window closes
+	// deterministically precede same-instant traffic.
+	var tl *timeline.Timeline
+	var lat *obs.Histogram
+	if cfg.CurveWindows > 0 {
+		lat = &obs.Histogram{}
+		span := time.Duration(w.EndNS - w.StartNS)
+		window := span / time.Duration(cfg.CurveWindows)
+		if window <= 0 {
+			window = time.Millisecond
+		}
+		tl = timeline.New(timeline.Config{
+			Window:    window,
+			Retention: cfg.CurveWindows + 1, // +1: the drain-tail window
+			Clock:     clk,
+		})
+		delta := func(get func() int) func() float64 {
+			prev := 0
+			return func() float64 {
+				cur := get()
+				d := cur - prev
+				prev = cur
+				return float64(d)
+			}
+		}
+		tl.TrackFunc("replay_sent", delta(func() int { return out.Sent }))
+		tl.TrackFunc("replay_delivered", delta(func() int { return out.Delivered }))
+		tl.TrackFunc("replay_expected", delta(func() int { return out.Expected }))
+		tl.TrackFunc("replay_truncated", delta(func() int { return out.Truncated }))
+		tl.TrackFunc("replay_repair_requests", delta(func() int { return out.RepairRequests }))
+		tl.TrackFunc("replay_abandoned", delta(func() int { return out.Abandoned }))
+		tl.TrackHistogram("replay_delivery_latency_ns", lat)
+		for i := 1; i <= cfg.CurveWindows; i++ {
+			at := time.Duration(int64(i) * int64(span) / int64(cfg.CurveWindows))
+			clk.ScheduleFunc(at, func(time.Time) { tl.SampleNow() })
+		}
+	}
 
 	receiverSet := make(map[string]bool, len(w.Receivers))
 	for _, id := range w.Receivers {
@@ -269,7 +325,7 @@ func Simulate(w *Workload, pol Policy, cfg SimConfig) Outcome {
 		mine := make(map[string]*tracker, len(w.Senders))
 		for _, s := range w.Senders {
 			if s != id {
-				mine[s] = newTracker(&out)
+				mine[s] = newTracker(&out, lat)
 			}
 		}
 		trackers[id] = mine
@@ -392,6 +448,12 @@ func Simulate(w *Workload, pol Policy, cfg SimConfig) Outcome {
 	}
 
 	clk.AdvanceTo(end.Add(drain + 4*cfg.Delay + cfg.Jitter))
+	if tl != nil {
+		// One synchronous close captures the drain tail (repairs and
+		// stragglers landing after the recorded span).
+		tl.SampleNow()
+		out.Curve = tl.Query(timeline.Query{})
+	}
 
 	// Repaired-gap counts from the engines (sorted receiver order).
 	for _, eng := range engines {

@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"adaptiveqos/internal/clock"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/timeline"
 	"adaptiveqos/internal/transport"
 )
 
@@ -162,21 +164,22 @@ type run struct {
 	startNS int64
 	endNS   int64
 
-	hash      uint64 // FNV-1a over the trace
-	published uint64
-	sent      uint64
-	delivered uint64
-	dropped   uint64
+	hash uint64 // FNV-1a over the trace
+
+	// Run-local counters and the delivery-latency histogram: the totals
+	// for Result, and the metrics the run's timeline windows into the
+	// latency/loss curves.
+	published metrics.Counter
+	sent      metrics.Counter
+	delivered metrics.Counter
+	dropped   metrics.Counter
+	joins     uint64
+	leaves    uint64
 
 	overall obs.Histogram
-	buckets []bucket
+	tl      *timeline.Timeline
 
 	pubs []transport.Conn
-}
-
-type bucket struct {
-	sent, delivered, dropped uint64
-	lat                      obs.Histogram
 }
 
 const (
@@ -213,20 +216,54 @@ func fnv32(s string) uint32 {
 	return h
 }
 
-// bucketAt maps a virtual instant into a curve bucket.
-func (r *run) bucketAt(atNS int64) *bucket {
-	i := int((atNS - r.startNS) * int64(len(r.buckets)) / (r.endNS - r.startNS))
-	if i < 0 {
-		i = 0
+// setupTimeline creates the run's curve store and schedules one
+// SampleNow event at every bucket boundary.  These events are scheduled
+// before any workload event, so at a shared instant the virtual clock
+// fires the window close first (lowest sequence number wins) and
+// boundary traffic lands in the *next* window — the same bucketing the
+// old per-bucket histograms used.  Deliveries at the exact session end
+// close after the last window and appear only in the totals.
+func (r *run) setupTimeline() {
+	window := time.Duration(int64(r.cfg.Duration) / int64(r.cfg.CurveBuckets))
+	r.tl = timeline.New(timeline.Config{
+		Window:    window,
+		Retention: r.cfg.CurveBuckets,
+		Clock:     r.clk,
+	})
+	r.tl.TrackCounter("sim_published", &r.published)
+	r.tl.TrackCounter("sim_sent", &r.sent)
+	r.tl.TrackCounter("sim_delivered", &r.delivered)
+	r.tl.TrackCounter("sim_dropped", &r.dropped)
+	r.tl.TrackHistogram("sim_delivery_latency_ns", &r.overall)
+	var prevDel, prevDrop uint64
+	r.tl.TrackFunc("sim_loss", func() float64 {
+		del, drop := r.delivered.Load(), r.dropped.Load()
+		dDel, dDrop := del-prevDel, drop-prevDrop
+		prevDel, prevDrop = del, drop
+		if dDel+dDrop == 0 {
+			return 0
+		}
+		return float64(dDrop) / float64(dDel+dDrop)
+	})
+	r.tl.TrackFunc("sim_subscribers", func() float64 {
+		return float64(r.joins) - float64(r.leaves)
+	})
+	for i := 1; i <= r.cfg.CurveBuckets; i++ {
+		at := time.Duration(int64(i) * int64(r.cfg.Duration) / int64(r.cfg.CurveBuckets))
+		r.clk.ScheduleFunc(at, func(time.Time) { r.tl.SampleNow() })
 	}
-	if i >= len(r.buckets) {
-		i = len(r.buckets) - 1
-	}
-	return &r.buckets[i]
 }
 
 // Run executes the scenario to completion and returns its Result.
 func Run(cfg Config) (Result, error) {
+	res, _, err := RunWithTimeline(cfg)
+	return res, err
+}
+
+// RunWithTimeline is Run, also returning the run's timeline so callers
+// (qossim's -timeline flag) can export the full per-window series set
+// beyond the curve baked into the Result.
+func RunWithTimeline(cfg Config) (Result, *timeline.Timeline, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.NewVirtual(time.Time{})
 	net := transport.NewDESNet(transport.DESNetConfig{
@@ -242,8 +279,10 @@ func Run(cfg Config) (Result, error) {
 		startNS: clk.Now().UnixNano(),
 		endNS:   clk.Now().Add(cfg.Duration).UnixNano(),
 		hash:    fnvOffset,
-		buckets: make([]bucket, cfg.CurveBuckets),
 	}
+	// Window-boundary events must be scheduled before any workload event
+	// so boundary bucketing is deterministic (see setupTimeline).
+	r.setupTimeline()
 	net.SetTrace(func(ev transport.TraceEvent) {
 		r.hashEvent(ev)
 		// Publishers receive each other's multicasts too; only copies
@@ -254,13 +293,10 @@ func Run(cfg Config) (Result, error) {
 		}
 		switch ev.Kind {
 		case transport.TraceDrop, transport.TraceOverflow:
-			r.dropped++
-			r.sent++
-			r.bucketAt(ev.AtNS).dropped++
-			r.bucketAt(ev.AtNS).sent++
+			r.dropped.Inc()
+			r.sent.Inc()
 		case transport.TraceDeliver:
-			r.sent++
-			r.bucketAt(ev.AtNS).sent++
+			r.sent.Inc()
 		}
 	})
 
@@ -271,7 +307,7 @@ func Run(cfg Config) (Result, error) {
 	for i := range r.pubs {
 		conn, err := net.AttachHandler(fmt.Sprintf("pub%03d", i), func(transport.Packet) {})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		r.pubs[i] = conn
 	}
@@ -283,6 +319,7 @@ func Run(cfg Config) (Result, error) {
 		if err != nil && joinErr == nil {
 			joinErr = fmt.Errorf("scenario: join %s: %w", id, err)
 		}
+		r.joins++
 	}
 
 	switch cfg.Kind {
@@ -295,10 +332,10 @@ func Run(cfg Config) (Result, error) {
 	case Diurnal:
 		r.setupDiurnal(joinClient)
 	default:
-		return Result{}, fmt.Errorf("scenario: unknown kind %q", cfg.Kind)
+		return Result{}, nil, fmt.Errorf("scenario: unknown kind %q", cfg.Kind)
 	}
 	if joinErr != nil {
-		return Result{}, joinErr
+		return Result{}, nil, joinErr
 	}
 
 	wallStart := clock.Wall.Now()
@@ -306,7 +343,7 @@ func Run(cfg Config) (Result, error) {
 	wall := clock.Wall.Since(wallStart)
 	net.Close()
 
-	return r.result(wall), nil
+	return r.result(wall), r.tl, nil
 }
 
 // onDeliver is every subscriber's packet handler: recover the embedded
@@ -317,11 +354,8 @@ func (r *run) onDeliver(p transport.Packet) {
 	}
 	sentNS := int64(binary.LittleEndian.Uint64(p.Data[8:16]))
 	lat := p.At.UnixNano() - sentNS
-	r.delivered++
+	r.delivered.Inc()
 	r.overall.Observe(lat)
-	b := r.bucketAt(p.At.UnixNano())
-	b.delivered++
-	b.lat.Observe(lat)
 }
 
 // publish sends one frame from publisher p: sequence number and the
@@ -331,7 +365,7 @@ func (r *run) publish(p transport.Conn, seq uint64) {
 	binary.LittleEndian.PutUint64(frame[0:], seq)
 	binary.LittleEndian.PutUint64(frame[8:], uint64(r.clk.Now().UnixNano()))
 	if err := p.Multicast(frame); err == nil {
-		r.published++
+		r.published.Inc()
 	}
 }
 
@@ -436,6 +470,7 @@ func (r *run) churnClient(i int) {
 		c, err := r.net.AttachHandler(id, r.onDeliver)
 		if err == nil {
 			conn = c
+			r.joins++
 		}
 	}
 	cycle = func(now time.Time) {
@@ -445,6 +480,7 @@ func (r *run) churnClient(i int) {
 		if conn != nil {
 			conn.Close()
 			conn = nil
+			r.leaves++
 			r.clk.ScheduleFunc(offFor, cycle)
 		} else {
 			joinNow()
@@ -482,10 +518,10 @@ func (r *run) result(wall time.Duration) Result {
 		Publishers:    r.cfg.Publishers,
 		Seed:          r.cfg.Seed,
 		SimMS:         r.cfg.Duration.Milliseconds(),
-		Published:     r.published,
-		Sent:          r.sent,
-		Delivered:     r.delivered,
-		Dropped:       r.dropped,
+		Published:     r.published.Load(),
+		Sent:          r.sent.Load(),
+		Delivered:     r.delivered.Load(),
+		Dropped:       r.dropped.Load(),
 		LatencyP50MS:  snap.Quantile(0.50) / 1e6,
 		LatencyP90MS:  snap.Quantile(0.90) / 1e6,
 		LatencyP99MS:  snap.Quantile(0.99) / 1e6,
@@ -496,23 +532,37 @@ func (r *run) result(wall time.Duration) Result {
 	if total := res.Delivered + res.Dropped; total > 0 {
 		res.Loss = float64(res.Dropped) / float64(total)
 	}
-	bucketMS := r.cfg.Duration.Milliseconds() / int64(len(r.buckets))
-	for i := range r.buckets {
-		b := &r.buckets[i]
-		ls := b.lat.Snapshot()
-		cp := CurvePoint{
-			StartMS:   int64(i) * bucketMS,
-			EndMS:     int64(i+1) * bucketMS,
-			Sent:      b.sent,
-			Delivered: b.delivered,
-			Dropped:   b.dropped,
-			P50MS:     ls.Quantile(0.50) / 1e6,
-			P99MS:     ls.Quantile(0.99) / 1e6,
-		}
-		if total := b.delivered + b.dropped; total > 0 {
-			cp.Loss = float64(b.dropped) / float64(total)
-		}
-		res.Curve = append(res.Curve, cp)
-	}
+	res.Curve = r.curve()
 	return res
+}
+
+// curve materializes the CurvePoints as a view over the run's
+// timeline: counter windows supply the per-bucket traffic, histogram
+// windows the windowed latency quantiles.
+func (r *run) curve() []CurvePoint {
+	byName := make(map[string][]timeline.Point)
+	for _, sd := range r.tl.Query(timeline.Query{Series: []string{
+		"sim_sent", "sim_delivered", "sim_dropped", "sim_delivery_latency_ns",
+	}}) {
+		byName[sd.Name] = sd.Points
+	}
+	sent, delivered, dropped := byName["sim_sent"], byName["sim_delivered"], byName["sim_dropped"]
+	lat := byName["sim_delivery_latency_ns"]
+	curve := make([]CurvePoint, 0, len(sent))
+	for i := range sent {
+		cp := CurvePoint{
+			StartMS:   (sent[i].StartNS - r.startNS) / 1e6,
+			EndMS:     (sent[i].EndNS - r.startNS) / 1e6,
+			Sent:      uint64(sent[i].Value),
+			Delivered: uint64(delivered[i].Value),
+			Dropped:   uint64(dropped[i].Value),
+			P50MS:     lat[i].P50 / 1e6,
+			P99MS:     lat[i].P99 / 1e6,
+		}
+		if total := cp.Delivered + cp.Dropped; total > 0 {
+			cp.Loss = float64(cp.Dropped) / float64(total)
+		}
+		curve = append(curve, cp)
+	}
+	return curve
 }

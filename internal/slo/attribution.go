@@ -4,7 +4,9 @@ import (
 	"sort"
 
 	"adaptiveqos/internal/inference"
+	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/timeline"
 )
 
 // Attribution bounds: a bundle carries at most maxExemplars worst
@@ -14,6 +16,11 @@ const (
 	maxExemplars    = 4
 	maxDecisions    = 4
 	maxAttributions = 4
+
+	// Curve bounds: the windows leading up to the violation and how many
+	// metric series a bundle may attach.
+	maxCurveWindows = 16
+	maxCurveSeries  = 12
 )
 
 // RadioSnapshot is a client's radio/tier state at violation time, as
@@ -63,6 +70,12 @@ type Attribution struct {
 	Decisions []DecisionSummary
 	Radio     RadioSnapshot
 	RadioOK   bool
+
+	// Curves holds the metric windows surrounding the violation (the
+	// client's own gauges, end-to-end latency and repair activity) when
+	// a process-global timeline is enabled — the "what was trending when
+	// it broke" view the flight-recorder exemplars cannot give.
+	Curves []timeline.SeriesData
 }
 
 // captureAttribution assembles the bundle for a freshly violated
@@ -119,5 +132,28 @@ func captureAttribution(client string, worst Objective, burnShort, burnLong floa
 			break
 		}
 	}
+
+	a.Curves = captureCurves(client, nowNS)
 	return a
+}
+
+// captureCurves pulls the recent metric windows relevant to client
+// from the process-global timeline: the client's own labeled series,
+// end-to-end latency and repair traffic.  Nil when no timeline is
+// enabled — the bundle stays cheap by default.
+func captureCurves(client string, nowNS int64) []timeline.SeriesData {
+	tl := timeline.Active()
+	if tl == nil {
+		return nil
+	}
+	return tl.Query(timeline.Query{
+		Contains: []string{
+			`{client="` + metrics.EscapeLabel(client) + `"}`,
+			"e2e_latency_ns",
+			"repair.",
+		},
+		UntilNS:    nowNS,
+		MaxWindows: maxCurveWindows,
+		MaxSeries:  maxCurveSeries,
+	})
 }

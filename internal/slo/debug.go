@@ -88,6 +88,17 @@ func writeAttribution(w io.Writer, a Attribution) {
 		fmt.Fprintf(w, "  radio bs=%s sir=%.1fdB power=%.2f distance=%.0fm tier=%d\n",
 			a.Radio.BS, a.Radio.SIRdB, a.Radio.Power, a.Radio.Distance, a.Radio.Tier)
 	}
+	for _, sd := range a.Curves {
+		if len(sd.Points) == 0 {
+			continue
+		}
+		last := sd.Points[len(sd.Points)-1]
+		v := last.Value
+		if sd.Kind == "histogram" {
+			v = last.P99
+		}
+		fmt.Fprintf(w, "  curve %-40s windows=%d last=%.3f\n", sd.Name, len(sd.Points), v)
+	}
 }
 
 func onOff(v bool) string {

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"adaptiveqos/internal/clock"
 	"adaptiveqos/internal/metrics"
 	"adaptiveqos/internal/obs"
+	"adaptiveqos/internal/timeline"
 )
 
 // testSpec is a loss-objective-only spec with second-scale windows the
@@ -224,6 +226,70 @@ func TestViolationAttributionBundle(t *testing.T) {
 		if ex.ID == other {
 			t.Errorf("exemplar includes a trace that ended at another client")
 		}
+	}
+}
+
+// TestViolationAttachesTimelineCurves pins the attribution→timeline
+// integration: with a process-global timeline enabled, a fresh
+// violation bundles the client's own labeled series and the shared
+// latency curve (and nothing unrelated); with no timeline the bundle
+// stays curve-free.
+func TestViolationAttachesTimelineCurves(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(990, 0))
+	tl := timeline.New(timeline.Config{Window: time.Second, Retention: 32, Clock: clk})
+	var lossG obs.Gauge
+	var lat obs.Histogram
+	var cpu obs.Gauge
+	tl.TrackGauge(`rtp_loss_fraction{client="c1"}`, &lossG)
+	tl.TrackHistogram("e2e_latency_ns", &lat)
+	tl.TrackGauge("cpu_load", &cpu) // unrelated: must not attach
+	tl.Start()
+	for i := 0; i < 5; i++ {
+		lossG.Set(0.1 * float64(i))
+		lat.Observe(int64(time.Millisecond))
+		clk.Advance(time.Second)
+	}
+	timeline.Enable(tl)
+	defer timeline.Disable()
+
+	e := NewEngine(testSpec())
+	base := time.Unix(1000, 0)
+	feed(e, "c1", base, 0.5, 8)
+	e.Poll(base.Add(200 * time.Millisecond))
+
+	atts := e.Attributions("c1")
+	if len(atts) != 1 {
+		t.Fatalf("attributions = %d, want 1", len(atts))
+	}
+	curves := atts[0].Curves
+	names := make(map[string]int)
+	for _, sd := range curves {
+		names[sd.Name] = len(sd.Points)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %v, want the client gauge and the latency histogram", names)
+	}
+	if n := names[`rtp_loss_fraction{client="c1"}`]; n != 5 {
+		t.Errorf("client gauge curve windows = %d, want 5", n)
+	}
+	if n := names["e2e_latency_ns"]; n != 5 {
+		t.Errorf("latency curve windows = %d, want 5", n)
+	}
+
+	// The curves render in the debug dump.
+	var sb strings.Builder
+	e.WriteSummary(&sb, "c1")
+	if !strings.Contains(sb.String(), "curve rtp_loss_fraction") {
+		t.Errorf("debug dump missing curve lines:\n%s", sb.String())
+	}
+
+	// Without a timeline the bundle stays curve-free.
+	timeline.Disable()
+	e2 := NewEngine(testSpec())
+	feed(e2, "c1", base, 0.5, 8)
+	e2.Poll(base.Add(200 * time.Millisecond))
+	if got := e2.Attributions("c1"); len(got) != 1 || got[0].Curves != nil {
+		t.Errorf("curves without a timeline = %+v, want none", got)
 	}
 }
 

@@ -1,0 +1,129 @@
+package timeline
+
+import "strings"
+
+// Query selects series and windows.  The zero Query selects every
+// retained window of every tracked series.
+type Query struct {
+	// Series selects exact names (empty = no name restriction).
+	Series []string
+	// Contains selects names containing any of these substrings; it
+	// composes with Series as a union (a name matches if either selects
+	// it when both are set).
+	Contains []string
+	// SinceNS/UntilNS bound the windows: a window is included when it
+	// ends after SinceNS and starts before UntilNS (0 = unbounded).
+	SinceNS int64
+	UntilNS int64
+	// MaxWindows keeps only the most recent N selected windows (0 = all).
+	MaxWindows int
+	// MaxSeries bounds the matched series count, keeping the first N in
+	// name order (0 = all).
+	MaxSeries int
+}
+
+// Point is one series' closed window.  Value is the counter delta,
+// gauge reading, derived value or histogram observation count; Rate is
+// Value per second of window width (counters and histograms only).
+// The quantile fields are set for histogram series only, in the
+// histogram's native units.
+type Point struct {
+	StartNS int64   `json:"start_ns"`
+	EndNS   int64   `json:"end_ns"`
+	Value   float64 `json:"value"`
+	Rate    float64 `json:"rate,omitempty"`
+	Count   uint64  `json:"count,omitempty"`
+	Mean    float64 `json:"mean,omitempty"`
+	P50     float64 `json:"p50,omitempty"`
+	P90     float64 `json:"p90,omitempty"`
+	P99     float64 `json:"p99,omitempty"`
+}
+
+// SeriesData is one matched series' selected windows.
+type SeriesData struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// matches reports whether name passes the query's series filters.
+func (q Query) matches(name string) bool {
+	if len(q.Series) == 0 && len(q.Contains) == 0 {
+		return true
+	}
+	for _, s := range q.Series {
+		if name == s {
+			return true
+		}
+	}
+	for _, sub := range q.Contains {
+		if strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query materializes the selected windows.  Results are name-sorted
+// with windows oldest-first; it allocates freely (query time is not
+// the hot path).
+func (t *Timeline) Query(q Query) []SeriesData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Selected ring slots, oldest first.
+	slots := make([]int, 0, t.filled)
+	for i := 0; i < t.filled; i++ {
+		slot := (t.head - t.filled + i + t.cfg.Retention) % t.cfg.Retention
+		b := t.bounds[slot]
+		if q.SinceNS != 0 && b.endNS <= q.SinceNS {
+			continue
+		}
+		if q.UntilNS != 0 && b.startNS >= q.UntilNS {
+			continue
+		}
+		slots = append(slots, slot)
+	}
+	if q.MaxWindows > 0 && len(slots) > q.MaxWindows {
+		slots = slots[len(slots)-q.MaxWindows:]
+	}
+
+	out := make([]SeriesData, 0, len(t.series))
+	for _, s := range t.series {
+		if !q.matches(s.name) {
+			continue
+		}
+		if q.MaxSeries > 0 && len(out) >= q.MaxSeries {
+			break
+		}
+		sd := SeriesData{Name: s.name, Kind: s.kind.String(), Points: make([]Point, 0, len(slots))}
+		for _, slot := range slots {
+			b := t.bounds[slot]
+			p := Point{StartNS: b.startNS, EndNS: b.endNS}
+			secs := float64(b.endNS-b.startNS) / 1e9
+			switch s.kind {
+			case KindCounter:
+				p.Value = s.vals[slot]
+				if secs > 0 {
+					p.Rate = p.Value / secs
+				}
+			case KindGauge, KindDerived:
+				p.Value = s.vals[slot]
+			case KindHistogram:
+				hw := s.hws[slot]
+				p.Value = float64(hw.count)
+				p.Count = hw.count
+				if secs > 0 {
+					p.Rate = p.Value / secs
+				}
+				if hw.count > 0 {
+					p.Mean = float64(hw.sum) / float64(hw.count)
+				}
+				p.P50, p.P90, p.P99 = hw.p50, hw.p90, hw.p99
+			}
+			sd.Points = append(sd.Points, p)
+		}
+		out = append(out, sd)
+	}
+	return out
+}

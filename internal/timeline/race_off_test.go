@@ -1,0 +1,6 @@
+//go:build !race
+
+package timeline
+
+// raceDetectorEnabled is false in ordinary (non -race) test builds.
+const raceDetectorEnabled = false

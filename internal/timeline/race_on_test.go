@@ -1,0 +1,9 @@
+//go:build race
+
+package timeline
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the zero-alloc and overhead guards skip themselves there (the
+// detector instruments every access, so the budgets would measure the
+// detector, not the sampler).
+const raceDetectorEnabled = true
